@@ -1,0 +1,79 @@
+// Command analyze profiles a downloaded image set (§III-C): it
+// decompresses every unique layer tarball, classifies each file by magic
+// number, builds layer and image profiles, runs the file-level dedup
+// census, and prints the layer/image/file figures.
+//
+// Usage:
+//
+//	analyze -data ./downloaded [-workers 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/blobstore"
+	"repro/internal/core"
+	"repro/internal/downloader"
+	"repro/internal/manifest"
+	"repro/internal/report"
+)
+
+func main() {
+	data := flag.String("data", "", "download directory created by cmd/download (required)")
+	workers := flag.Int("workers", 8, "concurrent layer walks")
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "analyze: -data is required")
+		os.Exit(2)
+	}
+
+	store, err := blobstore.NewDisk(filepath.Join(*data, "blobs"))
+	if err != nil {
+		fatal(err)
+	}
+	items, err := core.LoadDownloads(filepath.Join(*data, "downloads.json"))
+	if err != nil {
+		fatal(err)
+	}
+	images := make([]downloader.Image, 0, len(items))
+	for _, it := range items {
+		rc, _, err := store.Get(it.Digest)
+		if err != nil {
+			fatal(fmt.Errorf("manifest %s: %w", it.Digest.Short(), err))
+		}
+		raw, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			fatal(err)
+		}
+		m, err := manifest.Unmarshal(raw)
+		if err != nil {
+			fatal(err)
+		}
+		images = append(images, downloader.Image{Repo: it.Repo, Digest: it.Digest, Manifest: m})
+	}
+
+	start := time.Now()
+	res, err := analyzer.AnalyzeStore(store, images, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("analyze: %d images, %d unique layers, %d file instances (%s)\n\n",
+		len(res.Images), len(res.Layers), res.Index.Instances(), time.Since(start).Round(time.Millisecond))
+
+	src := &report.Source{Analysis: res}
+	for _, fig := range report.All(src) {
+		fmt.Println(fig)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

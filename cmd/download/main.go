@@ -1,0 +1,118 @@
+// Command download fetches the latest-tag image of every listed repository
+// from a registry, the way the paper's custom downloader did (§III-B):
+// manifests and layers over the Registry API, in parallel, transferring
+// each unique layer once. Layer blobs land in a local content-addressed
+// store; the manifest list is saved for cmd/analyze.
+//
+// Usage:
+//
+//	download -registry http://localhost:5000 -repos repos.txt -out ./downloaded
+//
+// With -repos - the list is read from stdin (pipe from cmd/crawl).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/blobstore"
+	"repro/internal/core"
+	"repro/internal/downloader"
+	"repro/internal/registry"
+	"repro/internal/report"
+)
+
+func main() {
+	regURL := flag.String("registry", "http://localhost:5000", "registry base URL")
+	reposPath := flag.String("repos", "-", "repository list file ('-' = stdin)")
+	out := flag.String("out", "", "output directory (required)")
+	workers := flag.Int("workers", 8, "concurrent image downloads")
+	token := flag.String("token", "", "bearer token for private repositories")
+	allTags := flag.Bool("all-tags", false, "download every tag instead of only latest")
+	retries := flag.Int("retries", 1, "extra attempts for transient failures")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "download: -out is required")
+		os.Exit(2)
+	}
+
+	repos, err := readRepos(*reposPath)
+	if err != nil {
+		fatal(err)
+	}
+	store, err := blobstore.NewDisk(filepath.Join(*out, "blobs"))
+	if err != nil {
+		fatal(err)
+	}
+
+	dl := &downloader.Downloader{
+		Client:  &registry.Client{Base: *regURL, Token: *token},
+		Workers: *workers,
+		Store:   store,
+		Retries: *retries,
+	}
+	start := time.Now()
+	var res *downloader.Result
+	if *allTags {
+		res, err = dl.RunAllTags(repos)
+	} else {
+		res, err = dl.Run(repos)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	s := res.Stats
+	fmt.Printf("download: %d attempted, %d ok, %d auth-failed, %d no-latest, %d other; "+
+		"%d unique layers (%s), %d shared fetches skipped, %s\n",
+		s.Attempted, s.Downloaded, s.AuthFailures, s.NoLatest, s.OtherFailures,
+		s.UniqueLayers, report.FormatBytes(float64(s.Bytes)), s.SkippedLayers,
+		time.Since(start).Round(time.Millisecond))
+
+	items := make([]core.DownloadManifest, 0, len(res.Images))
+	for _, img := range res.Images {
+		// Persist the manifest blob so analyze can reload it.
+		raw, err := img.Manifest.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := store.Put(raw); err != nil {
+			fatal(err)
+		}
+		items = append(items, core.DownloadManifest{Repo: img.Repo, Digest: img.Digest})
+	}
+	if err := core.SaveDownloads(filepath.Join(*out, "downloads.json"), items); err != nil {
+		fatal(err)
+	}
+}
+
+func readRepos(path string) ([]string, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var repos []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			repos = append(repos, line)
+		}
+	}
+	return repos, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "download:", err)
+	os.Exit(1)
+}

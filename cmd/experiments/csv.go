@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// writeCSVs dumps plot-ready CDF series for every distribution figure into
+// dir, one file per curve with "x,cdf" rows — the series behind the
+// paper's plots, for regenerating them with any plotting tool.
+func writeCSVs(res *repro.Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	series := map[string]*stats.CDF{
+		"fig3_cls":          {},
+		"fig3_fls":          {},
+		"fig4_ratio":        {},
+		"fig5_files_layer":  {},
+		"fig6_dirs_layer":   {},
+		"fig7_depth":        {},
+		"fig8_pulls":        {},
+		"fig9_cis":          {},
+		"fig9_fis":          {},
+		"fig10_layers_img":  {},
+		"fig11_dirs_img":    {},
+		"fig12_files_img":   {},
+		"fig23_layer_refs":  {},
+		"fig26_cross_layer": {},
+		"fig26_cross_image": {},
+	}
+	for i := range res.Analysis.Layers {
+		l := &res.Analysis.Layers[i]
+		series["fig3_cls"].AddInt(l.CLS)
+		series["fig3_fls"].AddInt(l.FLS)
+		if l.FLS > 0 {
+			series["fig4_ratio"].Add(l.Ratio())
+		}
+		series["fig5_files_layer"].AddInt(int64(l.FileCount))
+		series["fig6_dirs_layer"].AddInt(int64(l.DirCount))
+		if l.FileCount > 0 || l.DirCount > 0 {
+			series["fig7_depth"].AddInt(int64(l.MaxDepth))
+		}
+		series["fig23_layer_refs"].AddInt(int64(l.Refs))
+		if l.FileCount > 0 {
+			series["fig26_cross_layer"].Add(l.CrossLayerDupFrac)
+		}
+	}
+	for i := range res.Analysis.Images {
+		im := &res.Analysis.Images[i]
+		series["fig9_cis"].AddInt(im.CIS)
+		series["fig9_fis"].AddInt(im.FIS)
+		series["fig10_layers_img"].AddInt(int64(im.LayerCount()))
+		series["fig11_dirs_img"].AddInt(im.DirCount)
+		series["fig12_files_img"].AddInt(im.FileCount)
+		if im.FileCount > 0 {
+			series["fig26_cross_image"].Add(im.CrossImageDupFrac)
+		}
+	}
+	for i := range res.Source.Repos {
+		series["fig8_pulls"].AddInt(res.Source.Repos[i].PullCount)
+	}
+	repeats, _, _ := res.Analysis.Index.RepeatCDF()
+	series["fig24_repeats"] = repeats
+
+	for name, cdf := range series {
+		if err := writeCDF(filepath.Join(dir, name+".csv"), cdf); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 25 growth curve, if present.
+	if len(res.Source.Growth) > 0 {
+		f, err := os.Create(filepath.Join(dir, "fig25_growth.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"layers", "files", "count_ratio", "capacity_ratio"}); err != nil {
+			return err
+		}
+		for _, g := range res.Source.Growth {
+			if err := w.Write([]string{
+				strconv.Itoa(g.Layers),
+				strconv.FormatInt(g.Files, 10),
+				strconv.FormatFloat(g.CountRatio, 'g', 6, 64),
+				strconv.FormatFloat(g.CapacityRatio, 'g', 6, 64),
+			}); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCDF(path string, c *stats.CDF) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"x", "cdf"}); err != nil {
+		return err
+	}
+	for _, p := range c.Points(400) {
+		if err := w.Write([]string{
+			strconv.FormatFloat(p.X, 'g', 9, 64),
+			strconv.FormatFloat(p.Y, 'g', 6, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}

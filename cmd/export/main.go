@@ -1,0 +1,69 @@
+// Command export converts a cmd/download output directory into an OCI
+// Image Layout, the on-disk interchange format containerd, skopeo and
+// podman consume — making the synthetic study data portable to real
+// container tooling.
+//
+// Usage:
+//
+//	export -data ./downloaded -out ./layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/blobstore"
+	"repro/internal/core"
+	"repro/internal/ocilayout"
+)
+
+func main() {
+	data := flag.String("data", "", "download directory created by cmd/download (required)")
+	out := flag.String("out", "", "layout output directory (required)")
+	flag.Parse()
+	if *data == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "export: -data and -out are required")
+		os.Exit(2)
+	}
+
+	store, err := blobstore.NewDisk(filepath.Join(*data, "blobs"))
+	if err != nil {
+		fatal(err)
+	}
+	items, err := core.LoadDownloads(filepath.Join(*data, "downloads.json"))
+	if err != nil {
+		fatal(err)
+	}
+	refs := make([]ocilayout.Ref, 0, len(items))
+	for _, it := range items {
+		name := it.Repo
+		if !hasTag(name) {
+			name += ":latest"
+		}
+		refs = append(refs, ocilayout.Ref{Name: name, Manifest: it.Digest})
+	}
+	if err := ocilayout.Export(*out, store, refs); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("export: wrote OCI layout with %d image(s) to %s\n", len(refs), *out)
+}
+
+// hasTag reports whether the reference already carries a :tag suffix.
+func hasTag(ref string) bool {
+	for i := len(ref) - 1; i >= 0; i-- {
+		switch ref[i] {
+		case ':':
+			return true
+		case '/':
+			return false
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "export:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command hubregistry serves a materialized synthetic hub over HTTP: the
+// Docker Registry API v2 on one port and the Docker Hub search API on
+// another (they are distinct hosts in the real ecosystem and their URL
+// spaces collide under /v2/).
+//
+// Usage:
+//
+//	hubregistry -data ./hub [-addr :5000] [-search-addr :5001]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"repro/internal/blobstore"
+	"repro/internal/core"
+	"repro/internal/hubapi"
+	"repro/internal/registry"
+)
+
+func main() {
+	data := flag.String("data", "", "hub directory created by hubgen (required)")
+	addr := flag.String("addr", ":5000", "registry listen address")
+	searchAddr := flag.String("search-addr", ":5001", "search API listen address")
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "hubregistry: -data is required")
+		os.Exit(2)
+	}
+
+	st, err := core.LoadHubState(filepath.Join(*data, "hubstate.json"))
+	if err != nil {
+		fatal(err)
+	}
+	store, err := blobstore.NewDisk(filepath.Join(*data, "blobs"))
+	if err != nil {
+		fatal(err)
+	}
+	reg := registry.New(store)
+	if err := st.Install(reg); err != nil {
+		fatal(err)
+	}
+	search := hubapi.NewServer(st.Repos, 634412.0/457627.0, st.Seed, 0)
+
+	fmt.Printf("hubregistry: %d repos, %d blobs; registry on %s, search on %s\n",
+		len(st.Repos), store.Len(), *addr, *searchAddr)
+
+	errc := make(chan error, 2)
+	go func() { errc <- http.ListenAndServe(*addr, reg) }()
+	go func() { errc <- http.ListenAndServe(*searchAddr, search) }()
+	fatal(<-errc)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hubregistry:", err)
+	os.Exit(1)
+}

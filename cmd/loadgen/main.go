@@ -1,0 +1,201 @@
+// Command loadgen replays a popularity-weighted pull workload against a
+// running registry and reports latency percentiles and throughput — the
+// registry-side performance view the paper's §IV-B(a) caching discussion
+// motivates (and the trace studies in its related work measure).
+//
+// Usage:
+//
+//	loadgen -registry http://localhost:5000 -search http://localhost:5001 \
+//	        [-pulls 2000] [-workers 8]
+//
+// The generator crawls the search API for the repository population and
+// pull counts, synthesizes a pull trace proportional to those counts, and
+// replays it closed-loop: each simulated client pulls the manifest and all
+// layer blobs of the chosen repository's latest image.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/hubapi"
+	"repro/internal/popularity"
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	regURL := flag.String("registry", "http://localhost:5000", "registry base URL")
+	searchURL := flag.String("search", "http://localhost:5001", "search API base URL")
+	pulls := flag.Int("pulls", 2000, "number of pull operations to replay")
+	workers := flag.Int("workers", 8, "concurrent clients (closed-loop mode)")
+	seed := flag.Int64("seed", 1, "trace seed")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in pulls/s (0 = closed-loop)")
+	flag.Parse()
+
+	// Population and weights from the search API.
+	hub := &hubapi.Client{Base: *searchURL}
+	var names []string
+	var weights []int64
+	page := 1
+	for {
+		p, err := hub.SearchPage("/", page, 100)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range p.Results {
+			names = append(names, r.RepoName)
+			weights = append(weights, r.PullCount)
+		}
+		if p.Next == "" {
+			break
+		}
+		page++
+	}
+	officials, err := hub.Officials()
+	if err != nil {
+		fatal(err)
+	}
+	for _, o := range officials {
+		names = append(names, o.RepoName)
+		weights = append(weights, o.PullCount)
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no repositories found at %s", *searchURL))
+	}
+
+	client := &registry.Client{Base: *regURL}
+	if *rate > 0 {
+		runOpenLoop(client, names, weights, *pulls, *rate, *seed)
+		return
+	}
+
+	trace, err := popularity.Trace(weights, *pulls, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Closed-loop replay.
+	var (
+		mu        sync.Mutex
+		latencies = &stats.CDF{}
+		bytes     int64
+		errs      int
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				start := time.Now()
+				n, err := pullOnce(client, names[idx])
+				elapsed := time.Since(start)
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else {
+					latencies.Add(elapsed.Seconds() * 1000)
+					bytes += n
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wall := time.Now()
+	for _, idx := range trace {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(wall)
+
+	ok := latencies.N()
+	fmt.Printf("loadgen: %d pulls in %s (%.0f pulls/s, %s/s), %d failed\n",
+		ok, elapsed.Round(time.Millisecond),
+		float64(ok)/elapsed.Seconds(),
+		report.FormatBytes(float64(bytes)/elapsed.Seconds()), errs)
+	if ok > 0 {
+		fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			latencies.Median(), latencies.P(90), latencies.P(99), latencies.Max())
+	}
+}
+
+// runOpenLoop replays a Poisson workload: each pull is dispatched at its
+// stamped arrival time in its own goroutine, so response time includes any
+// queueing the server builds up — the view a closed loop hides.
+func runOpenLoop(client *registry.Client, names []string, weights []int64, n int, rate float64, seed int64) {
+	events, err := popularity.PoissonTrace(weights, n, rate, seed)
+	if err != nil {
+		fatal(err)
+	}
+	var (
+		mu        sync.Mutex
+		latencies = &stats.CDF{}
+		lateness  = &stats.CDF{}
+		bytes     int64
+		errs      int
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for _, ev := range events {
+		if d := time.Until(start.Add(ev.At)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(repo string, due time.Duration) {
+			defer wg.Done()
+			began := time.Now()
+			nBytes, err := pullOnce(client, repo)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs++
+				return
+			}
+			latencies.Add(time.Since(began).Seconds() * 1000)
+			lateness.Add((began.Sub(start) - due).Seconds() * 1000)
+			bytes += nBytes
+		}(names[ev.Repo], ev.At)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("loadgen(open-loop %.0f/s): %d pulls in %s (%s/s), %d failed\n",
+		rate, latencies.N(), elapsed.Round(time.Millisecond),
+		report.FormatBytes(float64(bytes)/elapsed.Seconds()), errs)
+	if latencies.N() > 0 {
+		fmt.Printf("service ms:  p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			latencies.Median(), latencies.P(90), latencies.P(99), latencies.Max())
+		fmt.Printf("dispatch lateness ms: p50=%.2f p99=%.2f (how far behind schedule arrivals ran)\n",
+			lateness.Median(), lateness.P(99))
+	}
+}
+
+// pullOnce fetches the latest manifest and all its layer blobs, returning
+// the bytes transferred. Repositories without a pullable latest image
+// (private, untagged) count as failures, mirroring a client's experience.
+func pullOnce(c *registry.Client, repo string) (int64, error) {
+	m, _, err := c.Manifest(repo, "latest")
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, l := range m.Layers {
+		content, err := c.BlobVerified(repo, l.Digest)
+		if err != nil {
+			return total, err
+		}
+		total += int64(len(content))
+	}
+	return total, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

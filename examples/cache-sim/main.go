@@ -1,0 +1,91 @@
+// Cache simulation: the paper's caching implication carried forward
+// (§IV-B(a): "Docker Hub is a good fit for caching popular repositories or
+// images"; §VI lists cache performance analysis as future work).
+//
+// A pull trace is synthesized from the calibrated popularity distribution
+// (median 40 pulls, heavy Zipf top, second peak at 37) and replayed
+// against LRU and LFU registry caches at several capacities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/popularity"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func main() {
+	d, err := synth.Generate(synth.DefaultSpec(0.002))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Object = image; size = its compressed size (CIS); weight = pulls.
+	pulls := make([]int64, len(d.Repos))
+	sizes := make([]int64, len(d.Repos))
+	var total int64
+	for i := range d.Repos {
+		pulls[i] = d.Repos[i].Pulls
+		if img := d.Repos[i].Image; img >= 0 {
+			var cis int64
+			for _, l := range d.ImageLayers(synth.ImageID(img)) {
+				cis += d.Layers[l].CLS
+			}
+			sizes[i] = cis
+			total += cis
+		}
+	}
+	st := popularity.Analyze(pulls)
+	fmt.Printf("popularity: median %.0f pulls, p90 %.0f, max %.0f, second peak at %d\n",
+		st.Median, st.P90, st.Max, st.SecondPeak)
+	fmt.Printf("registry holds %s across %d images\n\n", report.FormatBytes(float64(total)), len(d.Images))
+
+	run := func(title string, weights []int64) {
+		trace, err := popularity.Trace(weights, 500_000, d.Spec.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(title)
+		fmt.Printf("  %-8s %-12s %-10s %-12s\n", "policy", "capacity", "hit ratio", "byte hits")
+		for _, frac := range []float64{0.01, 0.05, 0.25} {
+			capacity := int64(float64(total) * frac)
+			for _, policy := range []string{"LRU", "LFU"} {
+				var c popularity.Cache
+				if policy == "LRU" {
+					c = popularity.NewLRU(capacity)
+				} else {
+					c = popularity.NewLFU(capacity)
+				}
+				sim, err := popularity.Simulate(trace, sizes, c)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-8s %-12s %8.1f%% %10.1f%%\n",
+					policy, report.FormatBytes(float64(capacity)),
+					sim.HitRatio*100, sim.ByteHitRatio*100)
+			}
+		}
+		fmt.Println()
+	}
+
+	// Full trace: the top-5 mega-repos (650M … 28M pulls) dominate so
+	// completely that any cache holding them serves ~everything — the
+	// paper's skew makes the headline case trivial.
+	run("full popularity trace (mega-repos dominate):", pulls)
+
+	// Capped trace: clamp the mega-repos to see the policy gradient over
+	// the body of the distribution (the "second peak at 37" crowd).
+	capped := make([]int64, len(pulls))
+	for i, p := range pulls {
+		if p > 10_000 {
+			p = 10_000
+		}
+		capped[i] = p
+	}
+	run("pulls capped at 10k (body of the distribution):", capped)
+
+	fmt.Println("the skew means a cache holding a few percent of bytes serves most pulls —")
+	fmt.Println("the paper's motivation for registry-side image caching")
+}

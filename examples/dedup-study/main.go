@@ -1,0 +1,70 @@
+// Dedup study: the paper's §V analyses at model scale — global file-level
+// dedup, the repeat-count distribution, dedup growth with dataset size
+// (Fig. 25), per-type-group dedup (Fig. 27), and layer-sharing
+// effectiveness (Fig. 23).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analyzer"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func main() {
+	// Use the internal packages directly for finer control than the
+	// repro facade: a bigger dataset but no figure rendering overhead.
+	spec := synth.DefaultSpec(0.003)
+	d, err := synth.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := analyzer.AnalyzeModel(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r := res.Index.Ratios()
+	fmt.Printf("dataset: %d layers, %d file instances, %s\n\n",
+		len(d.Layers), r.TotalFiles, report.FormatBytes(float64(r.TotalBytes)))
+	fmt.Printf("file-level dedup: %.1fx by count, %.2fx by capacity (%.1f%% of bytes removable)\n",
+		r.CountRatio, r.CapacityRatio, r.DedupSavings*100)
+	fmt.Printf("unique files: %.2f%% of instances (paper: 3.2%% at 5.28B files)\n\n", r.UniqueFrac*100)
+
+	cdf, maxRepeat, maxIsEmpty := res.Index.RepeatCDF()
+	fmt.Printf("repeat counts: p50=%.0f p90=%.0f max=%d (max is empty file: %v)\n",
+		cdf.Median(), cdf.P(90), maxRepeat, maxIsEmpty)
+	fmt.Printf("files with >1 copy: %.2f%% (paper: 99.4%%)\n\n", res.Index.MultiCopyFrac()*100)
+
+	// Fig. 25: dedup grows with the dataset.
+	growth, err := core.DedupGrowth(d, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dedup ratio vs dataset size (Fig. 25):")
+	for _, g := range growth {
+		fmt.Printf("  %7d layers  %10d files  count %6.2fx  capacity %5.2fx\n",
+			g.Layers, g.Files, g.CountRatio, g.CapacityRatio)
+	}
+	fmt.Println()
+
+	// Fig. 27: who dedups best.
+	fmt.Println("dedup by type group (Fig. 27; paper: scripts 98% > source 96.8% > docs 92% > EOL 86% > DB 76%):")
+	for _, g := range res.Index.ByGroup() {
+		fmt.Printf("  %-6s %8s capacity  %5.1f%% removable\n",
+			g.Group, report.FormatBytes(float64(g.TotalBytes)), g.DedupSavings*100)
+	}
+	fmt.Println()
+
+	// Fig. 23: layer sharing removes far less than file dedup.
+	var withSharing, withoutSharing float64
+	for i := range res.Layers {
+		withSharing += float64(res.Layers[i].CLS)
+		withoutSharing += float64(res.Layers[i].CLS) * float64(res.Layers[i].Refs)
+	}
+	fmt.Printf("layer sharing alone: %.2fx (paper: 1.8x) — file-level dedup reaches %.1fx on the same data\n",
+		withoutSharing/withSharing, r.CapacityRatio)
+}

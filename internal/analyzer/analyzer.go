@@ -1,0 +1,396 @@
+// Package analyzer builds the paper's layer and image profiles (§III-C).
+//
+// Two input paths share all downstream analysis code:
+//
+//   - AnalyzeModel profiles a synthetic dataset directly from its model —
+//     the fast path used for statistics at large scale.
+//   - AnalyzeStore decompresses and walks real layer tarballs from a blob
+//     store, classifying every file by magic number and digesting its
+//     content — the full wire path ("the analyzer extracts the downloaded
+//     layers and analyzes them along with the image manifests").
+//
+// Both produce a Result: per-layer profiles (digest, FLS, CLS, file and
+// directory counts, maximum depth, image references), per-image profiles
+// (CIS, FIS, aggregate counts), and a dedup.Index over all file instances.
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/blobstore"
+	"repro/internal/dedup"
+	"repro/internal/digest"
+	"repro/internal/downloader"
+	"repro/internal/filetype"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/tarutil"
+)
+
+// LayerProfile is the per-layer record of §III-C ("layer digest; layer
+// size (FLS); compressed layer size (CLS); directory count; file count;
+// max. directory depth"), extended with the image reference count used by
+// the §V-A sharing analysis.
+type LayerProfile struct {
+	Digest    digest.Digest
+	FLS       int64
+	CLS       int64
+	FileCount int32
+	DirCount  int32
+	MaxDepth  int32
+	Refs      int32
+	// CrossLayerDupFrac is the fraction of this layer's file instances
+	// whose content also appears in another layer (Fig. 26(a)).
+	CrossLayerDupFrac float64
+}
+
+// Ratio returns the FLS-to-CLS compression ratio, or 0 for empty layers.
+func (l *LayerProfile) Ratio() float64 {
+	if l.CLS == 0 || l.FLS == 0 {
+		return 0
+	}
+	return float64(l.FLS) / float64(l.CLS)
+}
+
+// ImageProfile is the per-image record of §III-C: compressed image size
+// (CIS) is the sum of compressed layer sizes, FIS the sum of contained
+// file sizes.
+type ImageProfile struct {
+	Repo      string
+	Layers    []int32 // indexes into Result.Layers
+	CIS       int64
+	FIS       int64
+	FileCount int64
+	DirCount  int64
+	// CrossImageDupFrac is the fraction of the image's file instances
+	// duplicated across images (Fig. 26(b)).
+	CrossImageDupFrac float64
+}
+
+// LayerCount returns the number of layers in the image.
+func (im *ImageProfile) LayerCount() int { return len(im.Layers) }
+
+// Result bundles the complete analysis.
+type Result struct {
+	Layers []LayerProfile
+	Images []ImageProfile
+	Index  *dedup.Index
+	// FileSizes streams instance file-size percentiles (p50/p90) in O(1)
+	// memory — at the paper's 5.28 B files an exact CDF cannot be stored.
+	FileSizes *stats.P2Digest
+}
+
+// newResult allocates the shared result skeleton.
+func newResult(layers, images int) *Result {
+	return &Result{
+		Layers:    make([]LayerProfile, layers),
+		Images:    make([]ImageProfile, images),
+		Index:     dedup.NewIndex(),
+		FileSizes: stats.NewP2Digest(0.5, 0.9),
+	}
+}
+
+// AnalyzeModel profiles a synthetic dataset in model mode.
+func AnalyzeModel(d *synth.Dataset) (*Result, error) {
+	res := newResult(len(d.Layers), len(d.Images))
+	for i := range d.Layers {
+		l := &d.Layers[i]
+		res.Layers[i] = LayerProfile{
+			Digest:    d.LayerDigest(synth.LayerID(i)),
+			FLS:       l.FLS,
+			CLS:       l.CLS,
+			FileCount: int32(l.FileCount()),
+			DirCount:  l.DirCount,
+			MaxDepth:  l.MaxDepth,
+			Refs:      l.Refs,
+		}
+		if err := res.Index.BeginLayer(l.Refs); err != nil {
+			return nil, err
+		}
+		for _, f := range d.LayerFiles(synth.LayerID(i)) {
+			uf := &d.Files[f]
+			if err := res.Index.Observe(uint64(f), uf.Size, uf.Type); err != nil {
+				return nil, err
+			}
+			res.FileSizes.Add(float64(uf.Size))
+		}
+		if err := res.Index.EndLayer(); err != nil {
+			return nil, err
+		}
+	}
+	if err := res.Index.Freeze(); err != nil {
+		return nil, err
+	}
+
+	for i := range d.Images {
+		im := &res.Images[i]
+		im.Repo = d.Repos[d.Images[i].Repo].Name
+		for _, l := range d.ImageLayers(synth.ImageID(i)) {
+			im.Layers = append(im.Layers, int32(l))
+			im.CIS += res.Layers[l].CLS
+			im.FIS += res.Layers[l].FLS
+			im.FileCount += int64(res.Layers[l].FileCount)
+			im.DirCount += int64(res.Layers[l].DirCount)
+		}
+	}
+
+	if err := fillCrossDup(res, func(layerIdx int32) []uint64 {
+		files := d.LayerFiles(synth.LayerID(layerIdx))
+		keys := make([]uint64, len(files))
+		for j, f := range files {
+			keys[j] = uint64(f)
+		}
+		return keys
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// fillCrossDup computes per-layer and per-image duplicate fractions from
+// the frozen index, given a function returning each layer's file keys.
+func fillCrossDup(res *Result, layerKeys func(int32) []uint64) error {
+	layerDup := make([]int64, len(res.Layers))    // cross-layer dup instances
+	imageDupCnt := make([]int64, len(res.Layers)) // cross-image dup instances
+	for i := range res.Layers {
+		keys := layerKeys(int32(i))
+		for _, k := range keys {
+			cl, ci, err := res.Index.CrossDup(k)
+			if err != nil {
+				return fmt.Errorf("analyzer: cross-dup: %w", err)
+			}
+			if cl {
+				layerDup[i]++
+			}
+			if ci {
+				imageDupCnt[i]++
+			}
+		}
+		if n := int64(res.Layers[i].FileCount); n > 0 {
+			res.Layers[i].CrossLayerDupFrac = float64(layerDup[i]) / float64(n)
+		}
+	}
+	for i := range res.Images {
+		im := &res.Images[i]
+		var dup int64
+		for _, l := range im.Layers {
+			dup += imageDupCnt[l]
+		}
+		if im.FileCount > 0 {
+			im.CrossImageDupFrac = float64(dup) / float64(im.FileCount)
+		}
+	}
+	return nil
+}
+
+// fileObs is one observed file inside a walked tarball.
+type fileObs struct {
+	key  uint64
+	size int64
+	t    filetype.Type
+}
+
+// walkedLayer is the analysis of one real layer blob.
+type walkedLayer struct {
+	profile LayerProfile
+	files   []fileObs
+}
+
+// AnalyzeStore profiles downloaded images whose layer blobs live in store.
+// workers bounds concurrent layer walks (8 if ≤ 0). Layer blobs may be
+// gzip-compressed tarballs (the registry wire format) or plain tarballs
+// (the uncompressed storage policy the paper proposes for small layers) —
+// both are handled.
+func AnalyzeStore(store blobstore.Store, images []downloader.Image, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = 8
+	}
+	// Deterministic image order regardless of download completion order.
+	sorted := append([]downloader.Image(nil), images...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Repo < sorted[j].Repo })
+
+	// Unique layers, first-seen order; count image references.
+	layerIdx := make(map[digest.Digest]int32)
+	var layerDigests []digest.Digest
+	refs := []int32{}
+	for _, img := range sorted {
+		for _, ld := range img.Manifest.LayerDigests() {
+			if _, ok := layerIdx[ld]; !ok {
+				layerIdx[ld] = int32(len(layerDigests))
+				layerDigests = append(layerDigests, ld)
+				refs = append(refs, 0)
+			}
+			refs[layerIdx[ld]]++
+		}
+	}
+
+	// Walk layers in parallel.
+	walked := make([]*walkedLayer, len(layerDigests))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan int32)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				wl, err := walkLayer(store, layerDigests[i])
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("analyzer: layer %s: %w", layerDigests[i].Short(), err)
+				}
+				walked[i] = wl
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range layerDigests {
+		work <- int32(i)
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Feed the index layer by layer (deterministic order) and assemble
+	// profiles.
+	res := newResult(len(layerDigests), 0)
+	res.Images = make([]ImageProfile, 0, len(sorted))
+	for i, wl := range walked {
+		wl.profile.Refs = refs[i]
+		res.Layers[i] = wl.profile
+		if err := res.Index.BeginLayer(refs[i]); err != nil {
+			return nil, err
+		}
+		for _, f := range wl.files {
+			if err := res.Index.Observe(f.key, f.size, f.t); err != nil {
+				return nil, err
+			}
+			res.FileSizes.Add(float64(f.size))
+		}
+		if err := res.Index.EndLayer(); err != nil {
+			return nil, err
+		}
+	}
+	if err := res.Index.Freeze(); err != nil {
+		return nil, err
+	}
+
+	for _, img := range sorted {
+		im := ImageProfile{Repo: img.Repo}
+		for _, ld := range img.Manifest.LayerDigests() {
+			idx := layerIdx[ld]
+			im.Layers = append(im.Layers, idx)
+			lp := &res.Layers[idx]
+			im.CIS += lp.CLS
+			im.FIS += lp.FLS
+			im.FileCount += int64(lp.FileCount)
+			im.DirCount += int64(lp.DirCount)
+		}
+		res.Images = append(res.Images, im)
+	}
+
+	if err := fillCrossDup(res, func(layerIdx int32) []uint64 {
+		keys := make([]uint64, len(walked[layerIdx].files))
+		for j, f := range walked[layerIdx].files {
+			keys[j] = f.key
+		}
+		return keys
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// walkLayer decompresses and walks one layer blob, producing its profile
+// and file observations. Like the paper's analyzer it traverses every
+// entry; unlike docker pull it never extracts to disk.
+func walkLayer(store blobstore.Store, ld digest.Digest) (*walkedLayer, error) {
+	rc, size, err := store.Get(ld)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+
+	wl := &walkedLayer{profile: LayerProfile{Digest: ld, CLS: size}}
+	dirs := make(map[string]bool)
+	maxDepth := 0
+
+	// Per-file memory is bounded: classification needs only a prefix
+	// (every magic offset is below 4 KiB) and the content digest streams.
+	var prefix [4096]byte
+
+	walkFn := func(e tarutil.Entry, content io.Reader) error {
+		// Census directories: explicit entries and implied parents.
+		addParents(dirs, e)
+		if e.Depth > maxDepth {
+			maxDepth = e.Depth
+		}
+		if e.IsDir {
+			return nil
+		}
+		wl.profile.FileCount++
+		wl.profile.FLS += e.Size
+		head := prefix[:0:len(prefix)]
+		h := digest.NewHasher()
+		if content != nil {
+			n, err := io.ReadFull(content, prefix[:])
+			if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+				return fmt.Errorf("reading %s: %w", e.Name, err)
+			}
+			head = prefix[:n]
+			h.Write(head)
+			if _, err := io.Copy(h, content); err != nil {
+				return fmt.Errorf("hashing %s: %w", e.Name, err)
+			}
+		}
+		wl.files = append(wl.files, fileObs{
+			key:  h.Digest().Key64(),
+			size: e.Size,
+			t:    filetype.Classify(e.Name, head),
+		})
+		return nil
+	}
+
+	err = tarutil.WalkGzip(io.NopCloser(rc), walkFn)
+	if err == tarutil.ErrNotGzip {
+		// Uncompressed storage policy: re-fetch and walk as plain tar.
+		rc2, _, err2 := store.Get(ld)
+		if err2 != nil {
+			return nil, err2
+		}
+		defer rc2.Close()
+		err = tarutil.Walk(rc2, walkFn)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wl.profile.DirCount = int32(len(dirs))
+	wl.profile.MaxDepth = int32(maxDepth)
+	return wl, nil
+}
+
+// addParents records the directory (for dir entries) and every ancestor
+// directory of the entry path.
+func addParents(dirs map[string]bool, e tarutil.Entry) {
+	p := strings.Trim(e.Name, "/")
+	if e.IsDir && p != "" {
+		dirs[p] = true
+	}
+	for {
+		i := strings.LastIndexByte(p, '/')
+		if i < 0 {
+			return
+		}
+		p = p[:i]
+		dirs[p] = true
+	}
+}

@@ -1,0 +1,321 @@
+// Package blobstore implements the content-addressed blob storage backing
+// the registry substrate. Blobs are keyed by their SHA-256 digest, the same
+// addressing Docker registries use for layer tarballs and manifests.
+//
+// Two backends are provided: an in-memory store for tests and model-scale
+// experiments, and a disk store that shards blobs across two-level
+// directories (like registry:2's filesystem driver) for materialized
+// datasets.
+package blobstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/digest"
+)
+
+// ErrNotFound is returned when a requested blob does not exist.
+var ErrNotFound = errors.New("blobstore: blob not found")
+
+// ErrDigestMismatch is returned by Put when content does not match the
+// digest it was stored under.
+var ErrDigestMismatch = errors.New("blobstore: content does not match digest")
+
+// Store is the interface shared by all blob store backends.
+type Store interface {
+	// Put stores content under its digest and returns the digest. Putting
+	// the same content twice is a cheap no-op (content addressing).
+	Put(content []byte) (digest.Digest, error)
+	// PutVerified stores content that must hash to want.
+	PutVerified(want digest.Digest, content []byte) error
+	// Get returns a reader over the blob and its size.
+	Get(d digest.Digest) (io.ReadCloser, int64, error)
+	// Stat returns the blob size, or ErrNotFound.
+	Stat(d digest.Digest) (int64, error)
+	// Has reports whether the blob exists.
+	Has(d digest.Digest) bool
+	// Len returns the number of stored blobs.
+	Len() int
+	// TotalBytes returns the sum of stored blob sizes (deduplicated, since
+	// identical content shares one entry).
+	TotalBytes() int64
+	// Digests returns all stored digests in unspecified order.
+	Digests() []digest.Digest
+	// Delete removes a blob; deleting a missing blob returns ErrNotFound.
+	Delete(d digest.Digest) error
+}
+
+// Memory is an in-memory Store, safe for concurrent use.
+type Memory struct {
+	mu    sync.RWMutex
+	blobs map[digest.Digest][]byte
+	bytes int64
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{blobs: make(map[digest.Digest][]byte)}
+}
+
+// Put implements Store.
+func (m *Memory) Put(content []byte) (digest.Digest, error) {
+	d := digest.FromBytes(content)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[d]; !ok {
+		m.blobs[d] = append([]byte(nil), content...)
+		m.bytes += int64(len(content))
+	}
+	return d, nil
+}
+
+// PutVerified implements Store.
+func (m *Memory) PutVerified(want digest.Digest, content []byte) error {
+	if digest.FromBytes(content) != want {
+		return fmt.Errorf("%w: want %s", ErrDigestMismatch, want)
+	}
+	_, err := m.Put(content)
+	return err
+}
+
+// Get implements Store.
+func (m *Memory) Get(d digest.Digest) (io.ReadCloser, int64, error) {
+	m.mu.RLock()
+	b, ok := m.blobs[d]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, d)
+	}
+	return io.NopCloser(bytes.NewReader(b)), int64(len(b)), nil
+}
+
+// Stat implements Store.
+func (m *Memory) Stat(d digest.Digest) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.blobs[d]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, d)
+	}
+	return int64(len(b)), nil
+}
+
+// Has implements Store.
+func (m *Memory) Has(d digest.Digest) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.blobs[d]
+	return ok
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.blobs)
+}
+
+// TotalBytes implements Store.
+func (m *Memory) TotalBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}
+
+// Digests implements Store.
+func (m *Memory) Digests() []digest.Digest {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]digest.Digest, 0, len(m.blobs))
+	for d := range m.blobs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(d digest.Digest) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[d]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, d)
+	}
+	m.bytes -= int64(len(b))
+	delete(m.blobs, d)
+	return nil
+}
+
+// Disk is a Store persisting blobs under root/<hex[0:2]>/<hex>, the
+// two-level sharding registry:2 uses. It is safe for concurrent use.
+type Disk struct {
+	root string
+
+	mu    sync.RWMutex
+	sizes map[digest.Digest]int64 // index built at open, maintained on Put
+	bytes int64
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir and indexes
+// any existing blobs.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blobstore: creating root: %w", err)
+	}
+	d := &Disk{root: dir, sizes: make(map[digest.Digest]int64)}
+	if err := d.index(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Disk) index() error {
+	shards, err := os.ReadDir(d.root)
+	if err != nil {
+		return fmt.Errorf("blobstore: indexing: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(d.root, shard.Name()))
+		if err != nil {
+			return fmt.Errorf("blobstore: indexing shard %s: %w", shard.Name(), err)
+		}
+		for _, e := range entries {
+			dg, err := digest.Parse(digest.Algorithm + ":" + e.Name())
+			if err != nil {
+				continue // foreign file; ignore
+			}
+			info, err := e.Info()
+			if err != nil {
+				return fmt.Errorf("blobstore: stat %s: %w", e.Name(), err)
+			}
+			d.sizes[dg] = info.Size()
+			d.bytes += info.Size()
+		}
+	}
+	return nil
+}
+
+func (d *Disk) path(dg digest.Digest) string {
+	hex := dg.Hex()
+	return filepath.Join(d.root, hex[:2], hex)
+}
+
+// Put implements Store.
+func (d *Disk) Put(content []byte) (digest.Digest, error) {
+	dg := digest.FromBytes(content)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.sizes[dg]; ok {
+		return dg, nil
+	}
+	p := d.path(dg)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return "", fmt.Errorf("blobstore: creating shard: %w", err)
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, content, 0o644); err != nil {
+		return "", fmt.Errorf("blobstore: writing blob: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return "", fmt.Errorf("blobstore: committing blob: %w", err)
+	}
+	d.sizes[dg] = int64(len(content))
+	d.bytes += int64(len(content))
+	return dg, nil
+}
+
+// PutVerified implements Store.
+func (d *Disk) PutVerified(want digest.Digest, content []byte) error {
+	if digest.FromBytes(content) != want {
+		return fmt.Errorf("%w: want %s", ErrDigestMismatch, want)
+	}
+	_, err := d.Put(content)
+	return err
+}
+
+// Get implements Store.
+func (d *Disk) Get(dg digest.Digest) (io.ReadCloser, int64, error) {
+	d.mu.RLock()
+	size, ok := d.sizes[dg]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, dg)
+	}
+	f, err := os.Open(d.path(dg))
+	if err != nil {
+		return nil, 0, fmt.Errorf("blobstore: opening blob: %w", err)
+	}
+	return f, size, nil
+}
+
+// Stat implements Store.
+func (d *Disk) Stat(dg digest.Digest) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	size, ok := d.sizes[dg]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, dg)
+	}
+	return size, nil
+}
+
+// Has implements Store.
+func (d *Disk) Has(dg digest.Digest) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.sizes[dg]
+	return ok
+}
+
+// Len implements Store.
+func (d *Disk) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.sizes)
+}
+
+// TotalBytes implements Store.
+func (d *Disk) TotalBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bytes
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(dg digest.Digest) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	size, ok := d.sizes[dg]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, dg)
+	}
+	if err := os.Remove(d.path(dg)); err != nil {
+		return fmt.Errorf("blobstore: deleting blob: %w", err)
+	}
+	delete(d.sizes, dg)
+	d.bytes -= size
+	return nil
+}
+
+// Digests implements Store.
+func (d *Disk) Digests() []digest.Digest {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]digest.Digest, 0, len(d.sizes))
+	for dg := range d.sizes {
+		out = append(out, dg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

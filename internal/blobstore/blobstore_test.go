@@ -1,0 +1,265 @@
+package blobstore
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/digest"
+)
+
+// storeFactories lets every test run against both backends.
+func storeFactories(t *testing.T) map[string]func() Store {
+	return map[string]func() Store{
+		"memory": func() Store { return NewMemory() },
+		"disk": func() Store {
+			d, err := NewDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			content := []byte("layer blob content")
+			d, err := s.Put(content)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != digest.FromBytes(content) {
+				t.Fatalf("Put returned wrong digest %s", d)
+			}
+			r, size, err := s.Get(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			got, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(content) {
+				t.Fatalf("Get returned %q", got)
+			}
+			if size != int64(len(content)) {
+				t.Fatalf("size = %d", size)
+			}
+		})
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			content := []byte("same bytes")
+			s.Put(content)
+			s.Put(content)
+			if s.Len() != 1 {
+				t.Fatalf("Len = %d after duplicate Put", s.Len())
+			}
+			if s.TotalBytes() != int64(len(content)) {
+				t.Fatalf("TotalBytes = %d", s.TotalBytes())
+			}
+		})
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			missing := digest.FromString("never stored")
+			if _, _, err := s.Get(missing); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+			}
+			if _, err := s.Stat(missing); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Stat(missing) = %v, want ErrNotFound", err)
+			}
+			if s.Has(missing) {
+				t.Fatal("Has(missing) = true")
+			}
+		})
+	}
+}
+
+func TestPutVerified(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			content := []byte("verified content")
+			want := digest.FromBytes(content)
+			if err := s.PutVerified(want, content); err != nil {
+				t.Fatalf("PutVerified(correct): %v", err)
+			}
+			wrong := digest.FromString("other")
+			if err := s.PutVerified(wrong, content); !errors.Is(err, ErrDigestMismatch) {
+				t.Fatalf("PutVerified(wrong) = %v, want ErrDigestMismatch", err)
+			}
+		})
+	}
+}
+
+func TestDigestsSortedAndComplete(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			for i := 0; i < 20; i++ {
+				s.Put([]byte{byte(i)})
+			}
+			ds := s.Digests()
+			if len(ds) != 20 {
+				t.Fatalf("Digests returned %d, want 20", len(ds))
+			}
+			for i := 1; i < len(ds); i++ {
+				if ds[i] <= ds[i-1] {
+					t.Fatal("Digests not sorted")
+				}
+			}
+		})
+	}
+}
+
+func TestDiskReopenPreservesIndex(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("persistent blob")
+	d, err := s1.Put(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has(d) {
+		t.Fatal("reopened store lost blob")
+	}
+	if s2.Len() != 1 || s2.TotalBytes() != int64(len(content)) {
+		t.Fatalf("reopened index wrong: len=%d bytes=%d", s2.Len(), s2.TotalBytes())
+	}
+	r, _, err := s2.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, _ := io.ReadAll(r)
+	if string(got) != string(content) {
+		t.Fatalf("reopened content = %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			content := []byte("to be deleted")
+			d, err := s.Put(content)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(d); err != nil {
+				t.Fatal(err)
+			}
+			if s.Has(d) || s.Len() != 0 || s.TotalBytes() != 0 {
+				t.Fatalf("delete left state: len=%d bytes=%d", s.Len(), s.TotalBytes())
+			}
+			if err := s.Delete(d); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double delete = %v, want ErrNotFound", err)
+			}
+			// Re-putting works after deletion.
+			if _, err := s.Put(content); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Has(d) {
+				t.Fatal("re-put after delete missing")
+			}
+		})
+	}
+}
+
+func TestDiskDeletePersists(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s1.Put([]byte("ephemeral"))
+	keep, _ := s1.Put([]byte("kept"))
+	if err := s1.Delete(d); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Has(d) {
+		t.Fatal("deleted blob reappeared after reopen")
+	}
+	if !s2.Has(keep) {
+		t.Fatal("kept blob lost after reopen")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s := NewMemory()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				s.Put([]byte{byte(g), byte(i)})
+				s.Put([]byte("shared"))
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Len() != 8*100+1 {
+		t.Fatalf("Len = %d, want %d", s.Len(), 8*100+1)
+	}
+}
+
+// Property: TotalBytes always equals the sum of unique blob sizes no matter
+// the insertion pattern (including duplicates).
+func TestQuickAccounting(t *testing.T) {
+	f := func(blobs [][]byte) bool {
+		s := NewMemory()
+		unique := make(map[digest.Digest]int)
+		for _, b := range blobs {
+			s.Put(b)
+			unique[digest.FromBytes(b)] = len(b)
+		}
+		var want int64
+		for _, n := range unique {
+			want += int64(n)
+		}
+		return s.TotalBytes() == want && s.Len() == len(unique)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMemoryPut(b *testing.B) {
+	s := NewMemory()
+	content := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		content[0] = byte(i)
+		content[1] = byte(i >> 8)
+		content[2] = byte(i >> 16)
+		s.Put(content)
+	}
+}

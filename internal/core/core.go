@@ -1,0 +1,232 @@
+// Package core orchestrates the complete study: generate (or connect to) a
+// Docker Hub population, run the crawl → download → analyze pipeline, and
+// assemble the figure source every table and figure of the paper derives
+// from.
+//
+// Two entry points mirror the two analysis paths:
+//
+//   - RunModel: generate the synthetic Hub and profile it in model mode —
+//     the statistical reproduction path used at scale.
+//   - RunWire: additionally materialize real layer tarballs into an
+//     in-process registry, serve it and the Hub search API over loopback
+//     HTTP, crawl, download, and analyze the actual bytes — the full
+//     methodology reproduction (§III).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/analyzer"
+	"repro/internal/blobstore"
+	"repro/internal/crawler"
+	"repro/internal/dedup"
+	"repro/internal/downloader"
+	"repro/internal/hubapi"
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+// Study configures a reproduction run.
+type Study struct {
+	// Spec is the synthetic Hub specification (synth.DefaultSpec(scale)
+	// for model runs, synth.MaterializeSpec(scale) for wire runs).
+	Spec synth.Spec
+	// Workers bounds pipeline parallelism (crawler pages, downloads,
+	// layer walks). Defaults to 8.
+	Workers int
+	// GrowthSamples is the number of nested layer samples for the Fig. 25
+	// dedup-growth curve (default 4 plus the full dataset, like the
+	// paper). 0 keeps the default; negative disables the growth analysis.
+	GrowthSamples int
+}
+
+// Result is everything a study produces.
+type Result struct {
+	Dataset  *synth.Dataset
+	Analysis *analyzer.Result
+	Source   *report.Source
+	Figures  []report.Figure
+
+	// Wire-mode extras (nil in model mode).
+	Crawl    *crawler.Result
+	Download *downloader.Result
+	Registry *registry.Registry
+}
+
+func (s *Study) workers() int {
+	if s.Workers <= 0 {
+		return 8
+	}
+	return s.Workers
+}
+
+// RunModel generates the dataset and analyzes it in model mode.
+func (s *Study) RunModel() (*Result, error) {
+	d, err := synth.Generate(s.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating dataset: %w", err)
+	}
+	analysis, err := analyzer.AnalyzeModel(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyzing model: %w", err)
+	}
+	res := &Result{Dataset: d, Analysis: analysis}
+	res.Source = &report.Source{
+		Analysis: analysis,
+		Repos:    synth.Repositories(d),
+	}
+	if s.GrowthSamples >= 0 {
+		n := s.GrowthSamples
+		if n == 0 {
+			n = 4
+		}
+		growth, err := DedupGrowth(d, n)
+		if err != nil {
+			return nil, fmt.Errorf("core: dedup growth: %w", err)
+		}
+		res.Source.Growth = growth
+	}
+	res.Figures = report.All(res.Source)
+	return res, nil
+}
+
+// RunWire materializes the dataset into an in-process registry, serves the
+// registry and Hub search API over loopback HTTP, and runs the full crawl →
+// download → analyze pipeline against the wire.
+func (s *Study) RunWire() (*Result, error) {
+	d, err := synth.Generate(s.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating dataset: %w", err)
+	}
+
+	reg := registry.New(blobstore.NewMemory())
+	if _, err := synth.Materialize(d, reg); err != nil {
+		return nil, fmt.Errorf("core: materializing: %w", err)
+	}
+	regSrv := httptest.NewServer(reg)
+	defer regSrv.Close()
+
+	search := hubapi.NewServer(synth.Repositories(d), d.Spec.CrawlDupFactor, d.Spec.Seed, 0)
+	searchSrv := httptest.NewServer(search)
+	defer searchSrv.Close()
+
+	return s.runWireAgainst(d, reg, regSrv.Client(), regSrv.URL, searchSrv.URL)
+}
+
+// runWireAgainst executes the crawl/download/analyze pipeline against
+// already-running services.
+func (s *Study) runWireAgainst(d *synth.Dataset, reg *registry.Registry,
+	httpClient *http.Client, regURL, searchURL string) (*Result, error) {
+
+	cr := &crawler.Crawler{
+		Client:  &hubapi.Client{Base: searchURL, HTTP: httpClient},
+		Workers: s.workers(),
+	}
+	crawlRes, err := cr.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: crawling: %w", err)
+	}
+
+	sink := blobstore.NewMemory()
+	dl := &downloader.Downloader{
+		Client:  &registry.Client{Base: regURL, HTTP: httpClient},
+		Workers: s.workers(),
+		Store:   sink,
+	}
+	dlRes, err := dl.Run(crawlRes.Repos)
+	if err != nil {
+		return nil, fmt.Errorf("core: downloading: %w", err)
+	}
+
+	analysis, err := analyzer.AnalyzeStore(sink, dlRes.Images, s.workers())
+	if err != nil {
+		return nil, fmt.Errorf("core: analyzing store: %w", err)
+	}
+
+	res := &Result{
+		Dataset:  d,
+		Analysis: analysis,
+		Crawl:    crawlRes,
+		Download: dlRes,
+		Registry: reg,
+	}
+	res.Source = &report.Source{
+		Analysis: analysis,
+		Repos:    synth.Repositories(d),
+		Crawl:    crawlRes,
+		Download: &dlRes.Stats,
+	}
+	res.Figures = report.All(res.Source)
+	return res, nil
+}
+
+// DedupGrowth reproduces Fig. 25: dedup ratios over nested random layer
+// samples of growing size ("the x-axis values correspond to the sizes of 4
+// random samples drawn from the whole dataset and the size of the whole
+// dataset"). samples is the number of sub-samples before the full dataset.
+func DedupGrowth(d *synth.Dataset, samples int) ([]report.GrowthPoint, error) {
+	total := len(d.Layers)
+	if total == 0 {
+		return nil, nil
+	}
+	// Nested sample sizes grow geometrically, like the paper's
+	// 1,000 → 1.7 M progression.
+	sizes := make([]int, 0, samples+1)
+	for i := samples; i > 0; i-- {
+		n := total
+		for j := 0; j < i; j++ {
+			n = n * 22 / 100 // ≈ (1000/1.7M)^(1/4) per step at full scale
+		}
+		if n < 1 {
+			n = 1
+		}
+		sizes = append(sizes, n)
+	}
+	sizes = append(sizes, total)
+
+	// One random permutation gives nested samples: sample k is the first
+	// sizes[k] layers of the permutation.
+	rng := rand.New(rand.NewSource(d.Spec.Seed + 25))
+	perm := rng.Perm(total)
+
+	var out []report.GrowthPoint
+	prev := -1
+	for _, n := range sizes {
+		if n == prev {
+			continue
+		}
+		prev = n
+		idx := dedup.NewIndex()
+		var files int64
+		for _, li := range perm[:n] {
+			l := synth.LayerID(li)
+			if err := idx.BeginLayer(d.Layers[li].Refs); err != nil {
+				return nil, err
+			}
+			for _, f := range d.LayerFiles(l) {
+				if err := idx.Observe(uint64(f), d.Files[f].Size, d.Files[f].Type); err != nil {
+					return nil, err
+				}
+				files++
+			}
+			if err := idx.EndLayer(); err != nil {
+				return nil, err
+			}
+		}
+		if err := idx.Freeze(); err != nil {
+			return nil, err
+		}
+		r := idx.Ratios()
+		out = append(out, report.GrowthPoint{
+			Layers:        n,
+			Files:         files,
+			CountRatio:    r.CountRatio,
+			CapacityRatio: r.CapacityRatio,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestRunModelProducesAllFigures(t *testing.T) {
+	st := &Study{Spec: synth.DefaultSpec(0.0005)}
+	res, err := st.RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model mode: every figure except the wire-only methodology table.
+	wantIDs := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+		"fig25", "fig26", "fig27", "fig28", "fig29",
+	}
+	got := map[string]bool{}
+	for _, f := range res.Figures {
+		got[f.ID] = true
+		if f.Title == "" {
+			t.Errorf("figure %s has no title", f.ID)
+		}
+		if len(f.Metrics) == 0 {
+			t.Errorf("figure %s has no metrics", f.ID)
+		}
+		if !strings.Contains(f.String(), f.ID) {
+			t.Errorf("figure %s String() missing ID", f.ID)
+		}
+	}
+	for _, id := range wantIDs {
+		if !got[id] {
+			t.Errorf("figure %s missing from model run", id)
+		}
+	}
+	if got["tabM"] {
+		t.Error("methodology table present in model mode")
+	}
+	if len(res.Source.Growth) < 3 {
+		t.Errorf("growth samples = %d, want >= 3", len(res.Source.Growth))
+	}
+}
+
+func TestRunModelGrowthDisabled(t *testing.T) {
+	st := &Study{Spec: synth.DefaultSpec(0.0002), GrowthSamples: -1}
+	res, err := st.RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Source.Growth) != 0 {
+		t.Fatal("growth computed despite being disabled")
+	}
+	for _, f := range res.Figures {
+		if f.ID == "fig25" {
+			t.Fatal("fig25 present without growth samples")
+		}
+	}
+}
+
+func TestRunWireFullPipeline(t *testing.T) {
+	st := &Study{Spec: synth.MaterializeSpec(0.0001), Workers: 4}
+	res, err := st.RunWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crawl == nil || res.Download == nil {
+		t.Fatal("wire run missing crawl/download results")
+	}
+	// Crawl found every repo.
+	if len(res.Crawl.Repos) != len(res.Dataset.Repos) {
+		t.Errorf("crawled %d repos, dataset has %d", len(res.Crawl.Repos), len(res.Dataset.Repos))
+	}
+	// Download got every public latest image.
+	if res.Download.Stats.Downloaded != len(res.Dataset.Images) {
+		t.Errorf("downloaded %d, want %d", res.Download.Stats.Downloaded, len(res.Dataset.Images))
+	}
+	if res.Download.Stats.AuthFailures == 0 || res.Download.Stats.NoLatest == 0 {
+		t.Errorf("failure modes not exercised: %+v", res.Download.Stats)
+	}
+	// Analysis covers all unique layers.
+	if len(res.Analysis.Layers) != len(res.Dataset.Layers) {
+		t.Errorf("analyzed %d layers, want %d", len(res.Analysis.Layers), len(res.Dataset.Layers))
+	}
+	// The methodology table exists in wire mode.
+	found := false
+	for _, f := range res.Figures {
+		if f.ID == "tabM" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("methodology table missing from wire run")
+	}
+}
+
+func TestWireAndModelAgreeOnDedup(t *testing.T) {
+	spec := synth.MaterializeSpec(0.0001)
+	model, err := (&Study{Spec: spec, GrowthSamples: -1}).RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := (&Study{Spec: spec, Workers: 4}).RunWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := model.Analysis.Index.Ratios()
+	wr := wire.Analysis.Index.Ratios()
+	if mr.TotalFiles != wr.TotalFiles || mr.UniqueFiles != wr.UniqueFiles {
+		t.Errorf("dedup counts disagree: model %d/%d wire %d/%d",
+			mr.TotalFiles, mr.UniqueFiles, wr.TotalFiles, wr.UniqueFiles)
+	}
+	if mr.TotalBytes != wr.TotalBytes {
+		t.Errorf("total bytes disagree: model %d wire %d", mr.TotalBytes, wr.TotalBytes)
+	}
+}
+
+func TestDedupGrowthMonotonicSamples(t *testing.T) {
+	d, err := synth.Generate(synth.DefaultSpec(0.0005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth, err := DedupGrowth(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(growth) < 2 {
+		t.Fatalf("growth points = %d", len(growth))
+	}
+	for i := 1; i < len(growth); i++ {
+		if growth[i].Layers <= growth[i-1].Layers {
+			t.Fatalf("sample sizes not increasing: %+v", growth)
+		}
+	}
+	first, last := growth[0], growth[len(growth)-1]
+	if last.CountRatio <= first.CountRatio {
+		t.Errorf("count dedup ratio did not grow: %v -> %v", first.CountRatio, last.CountRatio)
+	}
+	if last.Layers != len(d.Layers) {
+		t.Errorf("final sample %d != all layers %d", last.Layers, len(d.Layers))
+	}
+}
+
+func TestDedupGrowthEmptyDataset(t *testing.T) {
+	d := &synth.Dataset{}
+	growth, err := DedupGrowth(d, 4)
+	if err != nil || growth != nil {
+		t.Fatalf("empty dataset: %v %v", growth, err)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/digest"
+	"repro/internal/manifest"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+// HubState is the serializable description of a materialized hub: the
+// repository metadata the search API serves and the tag → manifest-digest
+// mapping the registry serves. Blob content lives in a blobstore.Disk next
+// to it.
+type HubState struct {
+	// Scale and Seed record the generating spec for reproducibility.
+	Scale float64 `json:"scale"`
+	Seed  int64   `json:"seed"`
+	// Repos is the full repository population (including private and
+	// no-latest repositories).
+	Repos []manifest.Repository `json:"repos"`
+	// Tags maps repository → tag → manifest digest.
+	Tags map[string]map[string]digest.Digest `json:"tags"`
+}
+
+// BuildHubState captures a materialized dataset's registry state.
+func BuildHubState(d *synth.Dataset, mat *synth.Materialized) *HubState {
+	st := &HubState{
+		Scale: d.Spec.Scale,
+		Seed:  d.Spec.Seed,
+		Repos: synth.Repositories(d),
+		Tags:  make(map[string]map[string]digest.Digest),
+	}
+	for i := range d.Repos {
+		r := &d.Repos[i]
+		if !r.Downloadable() {
+			continue
+		}
+		st.Tags[r.Name] = map[string]digest.Digest{
+			"latest": mat.ManifestDigests[r.Image],
+		}
+	}
+	return st
+}
+
+// SnapshotHubState captures a live registry's tag state (every repo, every
+// tag) for persistence — used when the registry holds more than the
+// latest-tag materialization, e.g. multi-version histories.
+func SnapshotHubState(reg *registry.Registry, repos []manifest.Repository, scale float64, seed int64) (*HubState, error) {
+	st := &HubState{
+		Scale: scale,
+		Seed:  seed,
+		Repos: repos,
+		Tags:  make(map[string]map[string]digest.Digest),
+	}
+	for i := range repos {
+		name := repos[i].Name
+		tags, err := reg.Tags(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshotting %s: %w", name, err)
+		}
+		if len(tags) == 0 {
+			continue
+		}
+		m := make(map[string]digest.Digest, len(tags))
+		for _, tag := range tags {
+			d, err := reg.ResolveTag(name, tag)
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshotting %s:%s: %w", name, tag, err)
+			}
+			m[tag] = d
+		}
+		st.Tags[name] = m
+		// Keep the repo metadata's tag list in sync for the search API.
+		st.Repos[i].Tags = tags
+	}
+	return st, nil
+}
+
+// Save writes the state as JSON.
+func (st *HubState) Save(path string) error {
+	data, err := json.MarshalIndent(st, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encoding hub state: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: writing hub state: %w", err)
+	}
+	return nil
+}
+
+// LoadHubState reads a state file.
+func LoadHubState(path string) (*HubState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading hub state: %w", err)
+	}
+	var st HubState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("core: decoding hub state: %w", err)
+	}
+	return &st, nil
+}
+
+// Install registers the state's repositories and tags in a registry whose
+// blob store already holds the referenced manifests.
+func (st *HubState) Install(reg *registry.Registry) error {
+	for i := range st.Repos {
+		r := &st.Repos[i]
+		reg.CreateRepo(r.Name, r.Private)
+		for tag, d := range st.Tags[r.Name] {
+			if err := reg.SetTag(r.Name, tag, d); err != nil {
+				return fmt.Errorf("core: restoring %s:%s: %w", r.Name, tag, err)
+			}
+		}
+	}
+	return nil
+}
+
+// DownloadManifest records one downloaded image for the analyze tool.
+type DownloadManifest struct {
+	Repo   string        `json:"repo"`
+	Digest digest.Digest `json:"digest"`
+}
+
+// SaveDownloads writes the repo → manifest-digest list of a download run.
+func SaveDownloads(path string, items []DownloadManifest) error {
+	data, err := json.MarshalIndent(items, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encoding downloads: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: writing downloads: %w", err)
+	}
+	return nil
+}
+
+// LoadDownloads reads a download list.
+func LoadDownloads(path string) ([]DownloadManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading downloads: %w", err)
+	}
+	var items []DownloadManifest
+	if err := json.Unmarshal(data, &items); err != nil {
+		return nil, fmt.Errorf("core: decoding downloads: %w", err)
+	}
+	return items, nil
+}

@@ -1,0 +1,208 @@
+package crawler
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/blobstore"
+	"repro/internal/hubapi"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+func testSetup(t *testing.T, dupFactor float64) (*synth.Dataset, *hubapi.Server, *Crawler) {
+	t.Helper()
+	d, err := synth.Generate(synth.DefaultSpec(0.0002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := hubapi.NewServer(synth.Repositories(d), dupFactor, 11, 37)
+	srv := httptest.NewServer(server)
+	t.Cleanup(srv.Close)
+	return d, server, &Crawler{Client: &hubapi.Client{Base: srv.URL}, PageSize: 37, Workers: 3}
+}
+
+func TestCrawlDeduplicates(t *testing.T) {
+	d, server, c := testSetup(t, 1.386)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawEntries != server.RawEntryCount() {
+		t.Fatalf("RawEntries = %d, want %d", res.RawEntries, server.RawEntryCount())
+	}
+	if len(res.Repos) != len(d.Repos) {
+		t.Fatalf("distinct repos = %d, want %d", len(res.Repos), len(d.Repos))
+	}
+	if res.Duplicates != res.RawEntries-(len(res.Repos)-res.Officials) {
+		t.Fatalf("duplicate accounting wrong: %+v", res)
+	}
+	if res.Duplicates == 0 {
+		t.Fatal("no duplicates detected at dup factor 1.386")
+	}
+	// Officials present and each non-official name carries a slash.
+	seenOfficial := false
+	for _, name := range res.Repos {
+		if name == "nginx" {
+			seenOfficial = true
+		}
+	}
+	if !seenOfficial {
+		t.Fatal("official repo nginx missing from crawl")
+	}
+}
+
+func TestCrawlNoDuplicates(t *testing.T) {
+	d, _, c := testSetup(t, 1.0)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duplicates != 0 {
+		t.Fatalf("Duplicates = %d, want 0", res.Duplicates)
+	}
+	if len(res.Repos) != len(d.Repos) {
+		t.Fatalf("repos = %d, want %d", len(res.Repos), len(d.Repos))
+	}
+}
+
+func TestCrawlSorted(t *testing.T) {
+	_, _, c := testSetup(t, 1.386)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Repos); i++ {
+		if res.Repos[i] <= res.Repos[i-1] {
+			t.Fatalf("repo list not sorted at %d: %s <= %s", i, res.Repos[i], res.Repos[i-1])
+		}
+	}
+}
+
+func TestCrawlSeparatesOfficials(t *testing.T) {
+	_, _, c := testSetup(t, 1.2)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Officials == 0 {
+		t.Fatal("no officials merged")
+	}
+	nonOfficial := 0
+	for _, name := range res.Repos {
+		if strings.Contains(name, "/") {
+			nonOfficial++
+		}
+	}
+	if nonOfficial+res.Officials < len(res.Repos) {
+		t.Fatalf("official/non-official split inconsistent: %d + %d < %d",
+			nonOfficial, res.Officials, len(res.Repos))
+	}
+}
+
+func TestCrawlerDefaultSettings(t *testing.T) {
+	d, _, c := testSetup(t, 1.0)
+	c.PageSize = 0 // exercise defaults
+	c.Workers = 0
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repos) != len(d.Repos) {
+		t.Fatalf("repos = %d, want %d", len(res.Repos), len(d.Repos))
+	}
+}
+
+// flakySearch fails every other request, exercising the retry path.
+type flakySearch struct {
+	inner http.Handler
+	n     atomic.Int64
+}
+
+func (f *flakySearch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.n.Add(1)%2 == 1 {
+		http.Error(w, "transient", http.StatusInternalServerError)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func TestCrawlerRetries(t *testing.T) {
+	d, err := synth.Generate(synth.DefaultSpec(0.0002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := hubapi.NewServer(synth.Repositories(d), 1.2, 3, 25)
+	srv := httptest.NewServer(&flakySearch{inner: server})
+	defer srv.Close()
+
+	// Without retries the first-attempt failures abort the crawl.
+	c := &Crawler{Client: &hubapi.Client{Base: srv.URL}, PageSize: 25, Workers: 1}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("flaky server crawl succeeded without retries")
+	}
+
+	// With retries every page eventually lands. (The flaky wrapper fails
+	// every other request, so one retry always suffices serially.)
+	c.Retries = 2
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repos) != len(d.Repos) {
+		t.Fatalf("retry crawl found %d repos, want %d", len(res.Repos), len(d.Repos))
+	}
+}
+
+// TestCatalogMatchesSearchScrape runs both enumeration strategies over the
+// same population: the paper's search scrape and the modern catalog API
+// must recover the identical repository set.
+func TestCatalogMatchesSearchScrape(t *testing.T) {
+	d, err := synth.Generate(synth.MaterializeSpec(0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(blobstore.NewMemory())
+	if _, err := synth.Materialize(d, reg); err != nil {
+		t.Fatal(err)
+	}
+	regSrv := httptest.NewServer(reg)
+	defer regSrv.Close()
+	search := hubapi.NewServer(synth.Repositories(d), 1.386, 5, 20)
+	searchSrv := httptest.NewServer(search)
+	defer searchSrv.Close()
+
+	scrape, err := (&Crawler{Client: &hubapi.Client{Base: searchSrv.URL}, PageSize: 20}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := RunCatalog(&registry.Client{Base: regSrv.URL}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scrape.Repos) != len(catalog.Repos) {
+		t.Fatalf("scrape found %d repos, catalog %d", len(scrape.Repos), len(catalog.Repos))
+	}
+	for i := range scrape.Repos {
+		if scrape.Repos[i] != catalog.Repos[i] {
+			t.Fatalf("repo lists diverge at %d: %s vs %s", i, scrape.Repos[i], catalog.Repos[i])
+		}
+	}
+	// The scrape saw duplicates; the catalog never does.
+	if scrape.Duplicates == 0 {
+		t.Error("scrape saw no duplicates at dup factor 1.386")
+	}
+	if catalog.RawEntries != len(catalog.Repos) {
+		t.Error("catalog returned duplicates")
+	}
+}
+
+func TestCrawlerServerDown(t *testing.T) {
+	c := &Crawler{Client: &hubapi.Client{Base: "http://127.0.0.1:1"}}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("crawl against dead server succeeded")
+	}
+}

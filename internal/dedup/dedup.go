@@ -1,0 +1,315 @@
+// Package dedup implements the paper's §V analyses: file-level
+// deduplication ratios (count and capacity), repeat-count distributions,
+// cross-layer and cross-image duplicate fractions, per-type-group dedup,
+// and layer-sharing effectiveness.
+//
+// The core structure is Index, a content-keyed census of file instances.
+// It is fed layer by layer (BeginLayer / Observe / EndLayer) in one pass,
+// then frozen; all metrics derive from the frozen census. Keys are 64-bit:
+// model-mode callers pass unique-file ids, wire-mode callers pass truncated
+// content digests — both preserve the equality structure deduplication
+// needs.
+package dedup
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/filetype"
+	"repro/internal/stats"
+)
+
+// fileRec is the census entry for one unique file content.
+type fileRec struct {
+	size       int64
+	instances  int64
+	layerCount int32
+	lastLayer  int32
+	maxRefs    int32 // largest image-reference count among its layers
+	ftype      filetype.Type
+}
+
+// Index is the global file census.
+type Index struct {
+	files map[uint64]*fileRec
+
+	curLayer int32
+	curRefs  int32
+	inLayer  bool
+	frozen   bool
+
+	layerCount int32
+	instances  int64
+	instBytes  int64
+}
+
+// NewIndex returns an empty census.
+func NewIndex() *Index {
+	return &Index{files: make(map[uint64]*fileRec), curLayer: -1}
+}
+
+// NewIndexSized returns an empty census pre-sized for an expected number
+// of unique files, avoiding incremental map growth on large runs (the
+// unique count is predictable: ~3% of the instance count at paper scale).
+func NewIndexSized(uniqueHint int) *Index {
+	return &Index{files: make(map[uint64]*fileRec, uniqueHint), curLayer: -1}
+}
+
+// Errors for misuse of the Begin/Observe/End protocol.
+var (
+	ErrNotInLayer = errors.New("dedup: Observe outside BeginLayer/EndLayer")
+	ErrFrozen     = errors.New("dedup: index already frozen")
+)
+
+// BeginLayer starts feeding one layer's instances. refs is the number of
+// images referencing the layer (used for cross-image duplicate detection).
+func (x *Index) BeginLayer(refs int32) error {
+	if x.frozen {
+		return ErrFrozen
+	}
+	if x.inLayer {
+		return errors.New("dedup: BeginLayer while a layer is open")
+	}
+	x.inLayer = true
+	x.curLayer = x.layerCount
+	x.layerCount++
+	x.curRefs = refs
+	return nil
+}
+
+// Observe records one file instance of the currently open layer.
+func (x *Index) Observe(key uint64, size int64, t filetype.Type) error {
+	if !x.inLayer {
+		return ErrNotInLayer
+	}
+	rec, ok := x.files[key]
+	if !ok {
+		rec = &fileRec{size: size, ftype: t, lastLayer: -1}
+		x.files[key] = rec
+	}
+	rec.instances++
+	x.instances++
+	x.instBytes += rec.size
+	if rec.lastLayer != x.curLayer {
+		rec.lastLayer = x.curLayer
+		rec.layerCount++
+	}
+	if x.curRefs > rec.maxRefs {
+		rec.maxRefs = x.curRefs
+	}
+	return nil
+}
+
+// EndLayer closes the current layer.
+func (x *Index) EndLayer() error {
+	if !x.inLayer {
+		return errors.New("dedup: EndLayer without BeginLayer")
+	}
+	x.inLayer = false
+	return nil
+}
+
+// Freeze finalizes the census; no further layers may be added.
+func (x *Index) Freeze() error {
+	if x.inLayer {
+		return errors.New("dedup: Freeze with a layer open")
+	}
+	x.frozen = true
+	return nil
+}
+
+// Unique returns the number of distinct file contents observed.
+func (x *Index) Unique() int { return len(x.files) }
+
+// Instances returns the total number of file instances observed.
+func (x *Index) Instances() int64 { return x.instances }
+
+// Ratios summarizes §V-B: "After removing redundant files, there are only
+// 3.2% of files left … deduplication ratios of 31.5× and 6.9× in terms of
+// file count and capacity".
+type Ratios struct {
+	UniqueFiles   int64
+	TotalFiles    int64
+	UniqueBytes   int64
+	TotalBytes    int64
+	CountRatio    float64 // TotalFiles / UniqueFiles
+	CapacityRatio float64 // TotalBytes / UniqueBytes
+	UniqueFrac    float64 // UniqueFiles / TotalFiles
+	// DedupSavings is the fraction of capacity removed by dedup (the
+	// paper's "overall deduplication ratio … 85.69%").
+	DedupSavings float64
+}
+
+// Ratios computes the global dedup ratios.
+func (x *Index) Ratios() Ratios {
+	var r Ratios
+	r.TotalFiles = x.instances
+	r.TotalBytes = x.instBytes
+	r.UniqueFiles = int64(len(x.files))
+	for _, rec := range x.files {
+		r.UniqueBytes += rec.size
+	}
+	if r.UniqueFiles > 0 {
+		r.CountRatio = float64(r.TotalFiles) / float64(r.UniqueFiles)
+	}
+	if r.UniqueBytes > 0 {
+		r.CapacityRatio = float64(r.TotalBytes) / float64(r.UniqueBytes)
+	}
+	if r.TotalFiles > 0 {
+		r.UniqueFrac = float64(r.UniqueFiles) / float64(r.TotalFiles)
+	}
+	if r.TotalBytes > 0 {
+		r.DedupSavings = 1 - float64(r.UniqueBytes)/float64(r.TotalBytes)
+	}
+	return r
+}
+
+// RepeatCDF returns the repeat-count distribution over unique files
+// (Fig. 24) along with the maximum repeat count and whether the maximally
+// repeated file is empty (the paper's famous finding).
+func (x *Index) RepeatCDF() (cdf *stats.CDF, maxRepeat int64, maxIsEmpty bool) {
+	cdf = &stats.CDF{}
+	var maxRec *fileRec
+	for _, rec := range x.files {
+		cdf.AddInt(rec.instances)
+		if maxRec == nil || rec.instances > maxRec.instances {
+			maxRec = rec
+		}
+	}
+	if maxRec != nil {
+		maxRepeat = maxRec.instances
+		maxIsEmpty = maxRec.size == 0
+	}
+	return cdf, maxRepeat, maxIsEmpty
+}
+
+// MultiCopyFrac returns the fraction of unique files with more than one
+// copy ("over 99.4% of files have more than one copy").
+func (x *Index) MultiCopyFrac() float64 {
+	if len(x.files) == 0 {
+		return 0
+	}
+	multi := 0
+	for _, rec := range x.files {
+		if rec.instances > 1 {
+			multi++
+		}
+	}
+	return float64(multi) / float64(len(x.files))
+}
+
+// GroupDedup is the per-type-group view of Fig. 27.
+type GroupDedup struct {
+	Group         filetype.Group
+	TotalBytes    int64
+	UniqueBytes   int64
+	DedupSavings  float64 // fraction of the group's capacity removed
+	TotalFiles    int64
+	UniqueFiles   int64
+	CapacityShare float64 // of the whole dataset's instance capacity
+}
+
+// ByGroup computes dedup per level-2 type group, sorted by descending total
+// capacity.
+func (x *Index) ByGroup() []GroupDedup {
+	agg := make(map[filetype.Group]*GroupDedup)
+	for _, rec := range x.files {
+		g := rec.ftype.Group()
+		gd, ok := agg[g]
+		if !ok {
+			gd = &GroupDedup{Group: g}
+			agg[g] = gd
+		}
+		gd.UniqueFiles++
+		gd.UniqueBytes += rec.size
+		gd.TotalFiles += rec.instances
+		gd.TotalBytes += rec.size * rec.instances
+	}
+	out := make([]GroupDedup, 0, len(agg))
+	for _, gd := range agg {
+		if gd.TotalBytes > 0 {
+			gd.DedupSavings = 1 - float64(gd.UniqueBytes)/float64(gd.TotalBytes)
+		}
+		if x.instBytes > 0 {
+			gd.CapacityShare = float64(gd.TotalBytes) / float64(x.instBytes)
+		}
+		out = append(out, *gd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalBytes > out[j].TotalBytes })
+	return out
+}
+
+// TypeDedup is the per-concrete-type view used by Figs. 28–29.
+type TypeDedup struct {
+	Type         filetype.Type
+	TotalBytes   int64
+	UniqueBytes  int64
+	DedupSavings float64
+	TotalFiles   int64
+}
+
+// ByTypeInGroup computes dedup per concrete type within one group, sorted
+// by descending capacity.
+func (x *Index) ByTypeInGroup(g filetype.Group) []TypeDedup {
+	agg := make(map[filetype.Type]*TypeDedup)
+	for _, rec := range x.files {
+		if rec.ftype.Group() != g {
+			continue
+		}
+		td, ok := agg[rec.ftype]
+		if !ok {
+			td = &TypeDedup{Type: rec.ftype}
+			agg[rec.ftype] = td
+		}
+		td.UniqueBytes += rec.size
+		td.TotalFiles += rec.instances
+		td.TotalBytes += rec.size * rec.instances
+	}
+	out := make([]TypeDedup, 0, len(agg))
+	for _, td := range agg {
+		if td.TotalBytes > 0 {
+			td.DedupSavings = 1 - float64(td.UniqueBytes)/float64(td.TotalBytes)
+		}
+		out = append(out, *td)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalBytes > out[j].TotalBytes })
+	return out
+}
+
+// TypeUsage returns instance-weighted per-type usage for the taxonomy
+// (Fig. 13) and the type-share figures (14–22).
+func (x *Index) TypeUsage() []filetype.TypeUsage {
+	agg := make(map[filetype.Type]*filetype.TypeUsage)
+	for _, rec := range x.files {
+		tu, ok := agg[rec.ftype]
+		if !ok {
+			tu = &filetype.TypeUsage{Type: rec.ftype}
+			agg[rec.ftype] = tu
+		}
+		tu.Count += rec.instances
+		tu.Capacity += float64(rec.size * rec.instances)
+	}
+	out := make([]filetype.TypeUsage, 0, len(agg))
+	for _, tu := range agg {
+		out = append(out, *tu)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Capacity > out[j].Capacity })
+	return out
+}
+
+// CrossDup reports, for one file key, whether the content is duplicated
+// across layers (present in ≥ 2 layers) and across images (present in ≥ 2
+// images). Cross-image is approximated as "in ≥ 2 layers, or in a layer
+// shared by ≥ 2 images": two layers almost always belong to different
+// images since 90% of layers are image-exclusive, so the overcount from
+// one image holding both layers is marginal.
+func (x *Index) CrossDup(key uint64) (crossLayer, crossImage bool, err error) {
+	rec, ok := x.files[key]
+	if !ok {
+		return false, false, fmt.Errorf("dedup: unknown file key %#x", key)
+	}
+	crossLayer = rec.layerCount >= 2
+	crossImage = crossLayer || rec.maxRefs >= 2
+	return crossLayer, crossImage, nil
+}

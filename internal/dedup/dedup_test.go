@@ -1,0 +1,270 @@
+package dedup
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/filetype"
+)
+
+// feed populates an index from a layer plan: each layer is a list of
+// (key, size, type) triples plus a reference count.
+type obs struct {
+	key  uint64
+	size int64
+	t    filetype.Type
+}
+
+func feed(t *testing.T, layers [][]obs, refs []int32) *Index {
+	t.Helper()
+	x := NewIndex()
+	for i, layer := range layers {
+		r := int32(1)
+		if i < len(refs) {
+			r = refs[i]
+		}
+		if err := x.BeginLayer(r); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range layer {
+			if err := x.Observe(o.key, o.size, o.t); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := x.EndLayer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := x.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestRatios(t *testing.T) {
+	// File 1 (100 B) appears 3×, file 2 (50 B) once → 4 instances, 2
+	// unique; 350 total bytes, 150 unique.
+	x := feed(t, [][]obs{
+		{{1, 100, filetype.ElfExecutable}, {2, 50, filetype.ASCIIText}},
+		{{1, 100, filetype.ElfExecutable}},
+		{{1, 100, filetype.ElfExecutable}},
+	}, nil)
+	r := x.Ratios()
+	if r.TotalFiles != 4 || r.UniqueFiles != 2 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.TotalBytes != 350 || r.UniqueBytes != 150 {
+		t.Fatalf("bytes: %+v", r)
+	}
+	if math.Abs(r.CountRatio-2) > 1e-12 {
+		t.Errorf("CountRatio = %v", r.CountRatio)
+	}
+	if math.Abs(r.CapacityRatio-350.0/150.0) > 1e-12 {
+		t.Errorf("CapacityRatio = %v", r.CapacityRatio)
+	}
+	if math.Abs(r.UniqueFrac-0.5) > 1e-12 {
+		t.Errorf("UniqueFrac = %v", r.UniqueFrac)
+	}
+	if math.Abs(r.DedupSavings-(1-150.0/350.0)) > 1e-12 {
+		t.Errorf("DedupSavings = %v", r.DedupSavings)
+	}
+}
+
+func TestRatiosEmpty(t *testing.T) {
+	x := NewIndex()
+	x.Freeze()
+	r := x.Ratios()
+	if r.CountRatio != 0 || r.CapacityRatio != 0 || r.UniqueFrac != 0 {
+		t.Fatalf("empty ratios nonzero: %+v", r)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	x := NewIndex()
+	if err := x.Observe(1, 1, filetype.ASCIIText); err == nil {
+		t.Error("Observe before BeginLayer accepted")
+	}
+	if err := x.EndLayer(); err == nil {
+		t.Error("EndLayer before BeginLayer accepted")
+	}
+	x.BeginLayer(1)
+	if err := x.BeginLayer(1); err == nil {
+		t.Error("nested BeginLayer accepted")
+	}
+	if err := x.Freeze(); err == nil {
+		t.Error("Freeze with open layer accepted")
+	}
+	x.EndLayer()
+	x.Freeze()
+	if err := x.BeginLayer(1); err == nil {
+		t.Error("BeginLayer after Freeze accepted")
+	}
+}
+
+func TestRepeatCDF(t *testing.T) {
+	x := feed(t, [][]obs{
+		{{1, 0, filetype.EmptyFile}, {2, 10, filetype.ASCIIText}},
+		{{1, 0, filetype.EmptyFile}},
+		{{1, 0, filetype.EmptyFile}},
+	}, nil)
+	cdf, maxRepeat, maxIsEmpty := x.RepeatCDF()
+	if cdf.N() != 2 {
+		t.Fatalf("N = %d", cdf.N())
+	}
+	if maxRepeat != 3 || !maxIsEmpty {
+		t.Fatalf("max repeat %d empty=%v, want 3 true", maxRepeat, maxIsEmpty)
+	}
+	if got := x.MultiCopyFrac(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MultiCopyFrac = %v", got)
+	}
+}
+
+func TestByGroup(t *testing.T) {
+	x := feed(t, [][]obs{
+		{{1, 1000, filetype.ElfExecutable}, {2, 10, filetype.PythonScript}},
+		{{1, 1000, filetype.ElfExecutable}, {2, 10, filetype.PythonScript}, {2, 10, filetype.PythonScript}},
+	}, nil)
+	groups := x.ByGroup()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// Sorted by capacity: EOL (2000) first.
+	if groups[0].Group != filetype.GroupEOL {
+		t.Fatalf("first group = %v", groups[0].Group)
+	}
+	if groups[0].TotalBytes != 2000 || groups[0].UniqueBytes != 1000 {
+		t.Fatalf("EOL bytes: %+v", groups[0])
+	}
+	if math.Abs(groups[0].DedupSavings-0.5) > 1e-12 {
+		t.Fatalf("EOL savings = %v", groups[0].DedupSavings)
+	}
+	scr := groups[1]
+	if scr.TotalFiles != 3 || scr.UniqueFiles != 1 {
+		t.Fatalf("script counts: %+v", scr)
+	}
+	if math.Abs(scr.DedupSavings-(1-10.0/30.0)) > 1e-12 {
+		t.Fatalf("script savings = %v", scr.DedupSavings)
+	}
+	wantShare := 2000.0 / 2030.0
+	if math.Abs(groups[0].CapacityShare-wantShare) > 1e-12 {
+		t.Fatalf("EOL share = %v", groups[0].CapacityShare)
+	}
+}
+
+func TestByTypeInGroup(t *testing.T) {
+	x := feed(t, [][]obs{
+		{{1, 100, filetype.CSource}, {2, 10, filetype.RubyModule}},
+		{{1, 100, filetype.CSource}},
+	}, nil)
+	types := x.ByTypeInGroup(filetype.GroupSourceCode)
+	if len(types) != 2 {
+		t.Fatalf("types = %d", len(types))
+	}
+	if types[0].Type != filetype.CSource || types[0].TotalBytes != 200 {
+		t.Fatalf("first type: %+v", types[0])
+	}
+	if math.Abs(types[0].DedupSavings-0.5) > 1e-12 {
+		t.Fatalf("C dedup = %v", types[0].DedupSavings)
+	}
+	if got := x.ByTypeInGroup(filetype.GroupMedia); len(got) != 0 {
+		t.Fatalf("media types = %d, want 0", len(got))
+	}
+}
+
+func TestTypeUsage(t *testing.T) {
+	x := feed(t, [][]obs{
+		{{1, 100, filetype.PNGImage}},
+		{{1, 100, filetype.PNGImage}, {2, 5, filetype.ASCIIText}},
+	}, nil)
+	usage := x.TypeUsage()
+	if len(usage) != 2 {
+		t.Fatalf("usage rows = %d", len(usage))
+	}
+	if usage[0].Type != filetype.PNGImage || usage[0].Count != 2 || usage[0].Capacity != 200 {
+		t.Fatalf("png usage: %+v", usage[0])
+	}
+}
+
+func TestCrossDup(t *testing.T) {
+	x := feed(t, [][]obs{
+		{{1, 10, filetype.ASCIIText}, {2, 10, filetype.ASCIIText}, {3, 10, filetype.ASCIIText}, {3, 10, filetype.ASCIIText}},
+		{{1, 10, filetype.ASCIIText}},
+	}, []int32{1, 1})
+	// File 1: two layers → cross-layer and cross-image.
+	cl, ci, err := x.CrossDup(1)
+	if err != nil || !cl || !ci {
+		t.Fatalf("file 1: cl=%v ci=%v err=%v", cl, ci, err)
+	}
+	// File 2: one layer, refs 1 → neither.
+	cl, ci, _ = x.CrossDup(2)
+	if cl || ci {
+		t.Fatalf("file 2: cl=%v ci=%v", cl, ci)
+	}
+	// File 3: twice in the SAME layer with refs 1 → not cross-layer, not
+	// cross-image.
+	cl, ci, _ = x.CrossDup(3)
+	if cl || ci {
+		t.Fatalf("file 3: cl=%v ci=%v", cl, ci)
+	}
+	if _, _, err := x.CrossDup(99); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestCrossDupSharedLayer(t *testing.T) {
+	// File in a single layer that two images share → cross-image but not
+	// cross-layer.
+	x := feed(t, [][]obs{{{7, 10, filetype.ASCIIText}}}, []int32{2})
+	cl, ci, _ := x.CrossDup(7)
+	if cl {
+		t.Error("single-layer file marked cross-layer")
+	}
+	if !ci {
+		t.Error("file in doubly-referenced layer not cross-image")
+	}
+}
+
+// Property: for any feeding pattern, accounting invariants hold: unique ≤
+// instances, unique bytes ≤ total bytes, count ratio ≥ 1, and the savings
+// fraction is in [0, 1).
+func TestQuickAccountingInvariants(t *testing.T) {
+	f := func(keys []uint8, sizes []uint16) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		x := NewIndex()
+		x.BeginLayer(1)
+		for i, k := range keys {
+			size := int64(0)
+			if len(sizes) > 0 {
+				size = int64(sizes[i%len(sizes)])
+			}
+			// Same key must always carry the same size for the invariant
+			// to be meaningful (content-addressed).
+			x.Observe(uint64(k), int64(k)*7+size%1, filetype.ASCIIText)
+		}
+		x.EndLayer()
+		x.Freeze()
+		r := x.Ratios()
+		if r.UniqueFiles > r.TotalFiles || r.UniqueBytes > r.TotalBytes {
+			return false
+		}
+		if r.UniqueFiles > 0 && r.CountRatio < 1 {
+			return false
+		}
+		return r.DedupSavings >= 0 && r.DedupSavings < 1 || r.TotalBytes == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	x := NewIndex()
+	x.BeginLayer(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.Observe(uint64(i%100_000), 1024, filetype.ElfExecutable)
+	}
+}

@@ -1,0 +1,277 @@
+package dedupstore
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+	"repro/internal/registry"
+	"repro/internal/synth"
+	"repro/internal/tarutil"
+)
+
+// buildLayer makes a gzip layer with the given (name, content) pairs.
+func buildLayer(t *testing.T, files map[string]string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	b, err := tarutil.NewGzipBuilder(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Dir("app"); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic order: sort by iterating a fixed slice.
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		if err := b.File("app/"+n, []byte(files[n])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(blobstore.NewMemory())
+	blob := buildLayer(t, map[string]string{"a.txt": "alpha", "b.txt": "beta"})
+	key, err := s.PutLayer(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(key) {
+		t.Fatal("stored layer not found")
+	}
+	tarBytes, err := s.GetLayer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest.FromBytes(tarBytes) != key {
+		t.Fatal("reassembled tar does not match key digest")
+	}
+	// Content survives reassembly.
+	found := map[string]string{}
+	err = tarutil.Walk(bytes.NewReader(tarBytes), func(e tarutil.Entry, r io.Reader) error {
+		if r != nil {
+			data, err := io.ReadAll(r)
+			if err != nil {
+				return err
+			}
+			found[e.Name] = string(data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found["app/a.txt"] != "alpha" || found["app/b.txt"] != "beta" {
+		t.Fatalf("contents lost: %v", found)
+	}
+}
+
+func TestDedupAcrossLayers(t *testing.T) {
+	s := New(blobstore.NewMemory())
+	shared := "this content is shared between layers and stored once"
+	l1 := buildLayer(t, map[string]string{"lib.so": shared, "one.txt": "one"})
+	l2 := buildLayer(t, map[string]string{"lib.so": shared, "two.txt": "two"})
+	if _, err := s.PutLayer(l1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutLayer(l2); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Layers != 2 {
+		t.Fatalf("Layers = %d", st.Layers)
+	}
+	if st.TotalFiles != 4 {
+		t.Fatalf("TotalFiles = %d", st.TotalFiles)
+	}
+	if st.UniqueFiles != 3 {
+		t.Fatalf("UniqueFiles = %d, want 3 (shared content pooled once)", st.UniqueFiles)
+	}
+	wantLogical := int64(2*len(shared) + len("one") + len("two"))
+	if st.LogicalBytes != wantLogical {
+		t.Fatalf("LogicalBytes = %d, want %d", st.LogicalBytes, wantLogical)
+	}
+	wantPool := int64(len(shared) + len("one") + len("two"))
+	if st.FileBytes != wantPool {
+		t.Fatalf("FileBytes = %d, want %d", st.FileBytes, wantPool)
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	s := New(blobstore.NewMemory())
+	blob := buildLayer(t, map[string]string{"x": "content"})
+	k1, err := s.PutLayer(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := s.PutLayer(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("same layer produced different keys")
+	}
+	if st := s.Stats(); st.Layers != 1 || st.TotalFiles != 1 {
+		t.Fatalf("idempotent put double-counted: %+v", st)
+	}
+}
+
+func TestPlainTarAccepted(t *testing.T) {
+	s := New(blobstore.NewMemory())
+	var buf bytes.Buffer
+	b := tarutil.NewBuilder(&buf)
+	b.File("f", []byte("plain"))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := s.PutLayer(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetLayer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf.Bytes()) {
+		t.Fatal("plain tar did not round-trip byte-identically")
+	}
+}
+
+func TestGetUnknownLayer(t *testing.T) {
+	s := New(blobstore.NewMemory())
+	if _, err := s.GetLayer(digest.FromString("nope")); !errors.Is(err, ErrUnknownLayer) {
+		t.Fatalf("error = %v, want ErrUnknownLayer", err)
+	}
+}
+
+func TestCorruptBlobRejected(t *testing.T) {
+	s := New(blobstore.NewMemory())
+	// Valid gzip, invalid tar inside.
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("this is not a tar archive but is long enough to try parsing it as one ......."))
+	zw.Close()
+	if _, err := s.PutLayer(buf.Bytes()); err == nil {
+		t.Fatal("corrupt layer accepted")
+	}
+}
+
+// TestSavingsMatchDedupAnalysis stores every materialized layer of a
+// synthetic hub and checks the realized storage savings approach the
+// dataset's file-level capacity dedup ratio — the §VI design validated
+// against the §V analysis.
+func TestSavingsMatchDedupAnalysis(t *testing.T) {
+	d, err := synth.Generate(synth.MaterializeSpec(0.0002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(blobstore.NewMemory())
+	if _, err := synth.Materialize(d, reg); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(blobstore.NewMemory())
+	for i := range d.Layers {
+		blob, err := synth.RenderLayer(d, synth.LayerID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.PutLayer(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Layers != len(d.Layers) {
+		t.Fatalf("stored %d layers, want %d", st.Layers, len(d.Layers))
+	}
+	if st.TotalFiles != d.FileInstances() {
+		t.Fatalf("TotalFiles = %d, want %d", st.TotalFiles, d.FileInstances())
+	}
+	if st.UniqueFiles != len(d.Files) {
+		t.Fatalf("UniqueFiles = %d, want %d", st.UniqueFiles, len(d.Files))
+	}
+	// The pool must hold exactly the model's unique bytes — content
+	// addressing realizes the §V-B dedup with no slack.
+	var uniqueBytes int64
+	for _, f := range d.Files {
+		uniqueBytes += f.Size
+	}
+	if st.FileBytes != uniqueBytes {
+		t.Fatalf("pool holds %d bytes, model unique bytes are %d", st.FileBytes, uniqueBytes)
+	}
+	if st.LogicalBytes != d.TotalFLS() {
+		t.Fatalf("logical bytes %d != dataset FLS %d", st.LogicalBytes, d.TotalFLS())
+	}
+	// Realized savings = logical/(pool+recipes). MaterializeSpec shrinks
+	// files to ~200 B so recipe metadata (~100 B/entry) eats much of the
+	// win here; at the paper's 31.6 KB mean file size the overhead is
+	// ~0.3% and realized savings approach the 6.9x capacity ratio.
+	modelRatio := float64(d.TotalFLS()) / float64(uniqueBytes)
+	realized := st.SavingsRatio()
+	if realized <= 1.1 {
+		t.Fatalf("realized savings %.2fx provide no benefit", realized)
+	}
+	if realized > modelRatio*1.01 {
+		t.Fatalf("realized savings %.2fx exceeds the theoretical %.2fx", realized, modelRatio)
+	}
+}
+
+func TestRoundTripMaterializedLayers(t *testing.T) {
+	d, err := synth.Generate(synth.MaterializeSpec(0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(blobstore.NewMemory())
+	for i := 0; i < len(d.Layers) && i < 50; i++ {
+		blob, err := synth.RenderLayer(d, synth.LayerID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := s.PutLayer(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.GetLayer(key); err != nil {
+			t.Fatalf("layer %d failed reassembly: %v", i, err)
+		}
+	}
+}
+
+func BenchmarkPutLayer(b *testing.B) {
+	d, err := synth.Generate(synth.MaterializeSpec(0.0001))
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob, err := synth.RenderLayer(d, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(blobstore.NewMemory())
+		if _, err := s.PutLayer(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package digest implements content digests in the format used by the
+// Docker Registry HTTP API v2: an algorithm prefix followed by a colon and
+// the lower-case hex encoding of the hash, e.g.
+//
+//	sha256:e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855
+//
+// Only SHA-256 is supported, which is what Docker Hub used for both layer
+// blobs and manifest references at the time of the paper's crawl.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"strings"
+)
+
+// Algorithm identifies the hash algorithm of a digest. Only SHA-256 is
+// supported.
+const Algorithm = "sha256"
+
+// hexLen is the length of the hex-encoded SHA-256 hash.
+const hexLen = sha256.Size * 2
+
+// Digest is a content digest string of the form "sha256:<64 hex chars>".
+// The zero value is invalid; construct digests with FromBytes, FromReader,
+// FromString or Parse.
+type Digest string
+
+// Errors returned by Parse.
+var (
+	ErrMissingSeparator = errors.New("digest: missing ':' separator")
+	ErrUnknownAlgorithm = errors.New("digest: unknown algorithm")
+	ErrInvalidHex       = errors.New("digest: invalid hex encoding")
+	ErrInvalidLength    = errors.New("digest: invalid hex length")
+)
+
+// FromBytes computes the SHA-256 digest of b.
+func FromBytes(b []byte) Digest {
+	sum := sha256.Sum256(b)
+	return encode(sum[:])
+}
+
+// FromString computes the SHA-256 digest of s.
+func FromString(s string) Digest {
+	sum := sha256.Sum256([]byte(s))
+	return encode(sum[:])
+}
+
+// FromReader computes the SHA-256 digest of everything readable from r.
+func FromReader(r io.Reader) (Digest, int64, error) {
+	h := sha256.New()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return "", n, fmt.Errorf("digest: reading content: %w", err)
+	}
+	return encode(h.Sum(nil)), n, nil
+}
+
+// FromUint64 derives a deterministic digest from a 64-bit value. It is used
+// by the synthetic dataset generator to give every synthetic unique file a
+// stable content digest without materializing its bytes.
+func FromUint64(v uint64) Digest {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return FromBytes(buf[:])
+}
+
+func encode(sum []byte) Digest {
+	return Digest(Algorithm + ":" + hex.EncodeToString(sum))
+}
+
+// Parse validates s and returns it as a Digest.
+func Parse(s string) (Digest, error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return "", ErrMissingSeparator
+	}
+	algo, hx := s[:i], s[i+1:]
+	if algo != Algorithm {
+		return "", fmt.Errorf("%w: %q", ErrUnknownAlgorithm, algo)
+	}
+	if len(hx) != hexLen {
+		return "", fmt.Errorf("%w: got %d, want %d", ErrInvalidLength, len(hx), hexLen)
+	}
+	for i := 0; i < len(hx); i++ {
+		c := hx[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("%w: byte %q at %d", ErrInvalidHex, c, i)
+		}
+	}
+	return Digest(s), nil
+}
+
+// MustParse is like Parse but panics on error. Intended for tests and
+// compile-time-constant digests.
+func MustParse(s string) Digest {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Valid reports whether d is a well-formed digest.
+func (d Digest) Valid() bool {
+	_, err := Parse(string(d))
+	return err == nil
+}
+
+// Hex returns the hex portion of the digest (without the algorithm prefix).
+// It returns "" if the digest is malformed.
+func (d Digest) Hex() string {
+	i := strings.IndexByte(string(d), ':')
+	if i < 0 {
+		return ""
+	}
+	return string(d)[i+1:]
+}
+
+// Short returns a 12-character abbreviation of the hex portion, the
+// convention Docker uses when displaying layer and image IDs.
+func (d Digest) Short() string {
+	h := d.Hex()
+	if len(h) >= 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// String returns the full digest string.
+func (d Digest) String() string { return string(d) }
+
+// Key64 returns the first 8 bytes of the hash as a uint64, a compact
+// dedup-index key. Truncating SHA-256 to 64 bits preserves the equality
+// structure for any realistic file population (collision odds ~2^-32 at a
+// billion files). Returns 0 for malformed digests.
+func (d Digest) Key64() uint64 {
+	h := d.Hex()
+	if len(h) < 16 {
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := h[i]
+		var nib uint64
+		switch {
+		case c >= '0' && c <= '9':
+			nib = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			nib = uint64(c-'a') + 10
+		default:
+			return 0
+		}
+		v = v<<4 | nib
+	}
+	return v
+}
+
+// Hasher incrementally computes a content digest, for callers that stream
+// data in pieces (e.g. a classification prefix followed by the remainder
+// of a large file) without buffering it whole.
+type Hasher struct {
+	h hash.Hash
+}
+
+// NewHasher returns an empty Hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// Write feeds content. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) { return h.h.Write(p) }
+
+// Digest returns the digest of everything written so far.
+func (h *Hasher) Digest() Digest { return encode(h.h.Sum(nil)) }
+
+// Verifier wraps a hash and an expected digest so callers can stream content
+// through it and confirm integrity afterwards, mirroring how a registry
+// client verifies a pulled blob against the digest in the manifest.
+type Verifier struct {
+	want Digest
+	h    hash.Hash
+}
+
+// NewVerifier returns a Verifier that checks content against want.
+func NewVerifier(want Digest) *Verifier {
+	return &Verifier{want: want, h: sha256.New()}
+}
+
+// Write feeds content into the verifier. It never fails.
+func (v *Verifier) Write(p []byte) (int, error) {
+	return v.h.Write(p)
+}
+
+// Verified reports whether the content written so far matches the expected
+// digest.
+func (v *Verifier) Verified() bool {
+	return encode(v.h.Sum(nil)) == v.want
+}
+
+// Actual returns the digest of the content written so far.
+func (v *Verifier) Actual() Digest {
+	return encode(v.h.Sum(nil))
+}

@@ -1,0 +1,221 @@
+package digest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// emptySHA256 is the well-known digest of the empty input.
+const emptySHA256 = "sha256:e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+
+func TestFromBytesEmpty(t *testing.T) {
+	if got := FromBytes(nil); got != emptySHA256 {
+		t.Fatalf("FromBytes(nil) = %s, want %s", got, emptySHA256)
+	}
+}
+
+func TestFromStringMatchesFromBytes(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", strings.Repeat("x", 10_000)} {
+		if FromString(s) != FromBytes([]byte(s)) {
+			t.Errorf("FromString(%q) != FromBytes of same content", s)
+		}
+	}
+}
+
+func TestFromReader(t *testing.T) {
+	content := []byte("layer tarball content")
+	d, n, err := FromReader(bytes.NewReader(content))
+	if err != nil {
+		t.Fatalf("FromReader: %v", err)
+	}
+	if n != int64(len(content)) {
+		t.Fatalf("FromReader n = %d, want %d", n, len(content))
+	}
+	if d != FromBytes(content) {
+		t.Fatalf("FromReader digest %s != FromBytes %s", d, FromBytes(content))
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	d, err := Parse(emptySHA256)
+	if err != nil {
+		t.Fatalf("Parse(valid) error: %v", err)
+	}
+	if d.Hex() != strings.TrimPrefix(emptySHA256, "sha256:") {
+		t.Fatalf("Hex() = %q", d.Hex())
+	}
+	if d.Short() != "e3b0c44298fc" {
+		t.Fatalf("Short() = %q", d.Short())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		desc string
+	}{
+		{"", "empty"},
+		{"sha256", "no separator"},
+		{"md5:abcd", "unknown algorithm"},
+		{"sha256:abc", "short hex"},
+		{"sha256:" + strings.Repeat("g", 64), "non-hex chars"},
+		{"sha256:" + strings.Repeat("A", 64), "upper-case hex rejected"},
+		{"sha256:" + strings.Repeat("0", 65), "long hex"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.in); err == nil {
+			t.Errorf("Parse(%q) [%s]: expected error, got nil", c.in, c.desc)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Digest(emptySHA256).Valid() {
+		t.Error("known digest reported invalid")
+	}
+	if Digest("bogus").Valid() {
+		t.Error("bogus digest reported valid")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on invalid input did not panic")
+		}
+	}()
+	MustParse("not-a-digest")
+}
+
+func TestFromUint64Deterministic(t *testing.T) {
+	a, b := FromUint64(42), FromUint64(42)
+	if a != b {
+		t.Fatal("FromUint64 not deterministic")
+	}
+	if FromUint64(42) == FromUint64(43) {
+		t.Fatal("adjacent seeds collided")
+	}
+	if !a.Valid() {
+		t.Fatal("FromUint64 produced invalid digest")
+	}
+}
+
+func TestVerifier(t *testing.T) {
+	content := []byte("blob bytes")
+	want := FromBytes(content)
+	v := NewVerifier(want)
+	if _, err := v.Write(content[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if v.Verified() {
+		t.Fatal("verifier reported success on partial content")
+	}
+	if _, err := v.Write(content[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Verified() {
+		t.Fatalf("verifier failed on full content: actual %s", v.Actual())
+	}
+}
+
+func TestVerifierMismatch(t *testing.T) {
+	v := NewVerifier(FromBytes([]byte("expected")))
+	v.Write([]byte("something else"))
+	if v.Verified() {
+		t.Fatal("verifier accepted mismatching content")
+	}
+}
+
+func TestStringAndShortEdgeCases(t *testing.T) {
+	d := MustParse(emptySHA256)
+	if d.String() != emptySHA256 {
+		t.Errorf("String() = %q", d.String())
+	}
+	if Digest("short").Hex() != "" {
+		t.Error("malformed Hex should be empty")
+	}
+	if got := Digest("x:abc").Short(); got != "abc" {
+		t.Errorf("Short of tiny hex = %q", got)
+	}
+}
+
+func TestKey64(t *testing.T) {
+	d := MustParse("sha256:0123456789abcdef" + strings.Repeat("0", 48))
+	if got := d.Key64(); got != 0x0123456789abcdef {
+		t.Fatalf("Key64 = %#x", got)
+	}
+	if Digest("bogus").Key64() != 0 {
+		t.Error("malformed digest Key64 should be 0")
+	}
+	if Digest("sha256:zzzzzzzzzzzzzzzz"+strings.Repeat("0", 48)).Key64() != 0 {
+		t.Error("non-hex Key64 should be 0")
+	}
+	// Distinct digests give distinct keys (with overwhelming probability).
+	if FromString("a").Key64() == FromString("b").Key64() {
+		t.Error("Key64 collision on trivial inputs")
+	}
+}
+
+func TestVerifierActual(t *testing.T) {
+	v := NewVerifier(FromString("whatever"))
+	v.Write([]byte("content"))
+	if v.Actual() != FromBytes([]byte("content")) {
+		t.Fatal("Actual() mismatch")
+	}
+}
+
+// Property: every digest produced from bytes parses and round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		d := FromBytes(b)
+		parsed, err := Parse(string(d))
+		return err == nil && parsed == d && d.Valid() && len(d.Hex()) == 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distinct inputs (almost surely) produce distinct digests and
+// identical inputs always produce identical digests.
+func TestQuickDeterminismAndSeparation(t *testing.T) {
+	f := func(a, b []byte) bool {
+		da1, da2 := FromBytes(a), FromBytes(a)
+		if da1 != da2 {
+			return false
+		}
+		if bytes.Equal(a, b) {
+			return FromBytes(b) == da1
+		}
+		return FromBytes(b) != da1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: streaming any split of the input through a Hasher matches the
+// one-shot digest.
+func TestQuickHasherSplits(t *testing.T) {
+	f := func(data []byte, cut uint8) bool {
+		i := int(cut) % (len(data) + 1)
+		h := NewHasher()
+		h.Write(data[:i])
+		h.Write(data[i:])
+		return h.Digest() == FromBytes(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFromBytes4K(b *testing.B) {
+	buf := bytes.Repeat([]byte{0xab}, 4096)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FromBytes(buf)
+	}
+}

@@ -1,0 +1,163 @@
+package downloader
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+// tamperStore serves corrupted bytes for a chosen set of blobs, simulating
+// wire corruption or a rotten storage backend, to exercise the
+// downloader's digest-verification path.
+type tamperStore struct {
+	blobstore.Store
+	corrupt map[digest.Digest]bool
+}
+
+func (t *tamperStore) Get(d digest.Digest) (io.ReadCloser, int64, error) {
+	rc, size, err := t.Store.Get(d)
+	if err != nil || !t.corrupt[d] {
+		return rc, size, err
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) > 0 {
+		data[0] ^= 0xFF
+	}
+	return io.NopCloser(bytes.NewReader(data)), size, nil
+}
+
+func TestDownloadDetectsCorruptLayers(t *testing.T) {
+	d, err := synth.Generate(synth.MaterializeSpec(0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := &tamperStore{Store: blobstore.NewMemory(), corrupt: map[digest.Digest]bool{}}
+	reg := registry.New(tampered)
+	mat, err := synth.Materialize(d, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt three layer blobs (manifests stay intact).
+	corrupted := 0
+	for _, dg := range mat.LayerDigests {
+		if corrupted == 3 {
+			break
+		}
+		if !tampered.corrupt[dg] {
+			tampered.corrupt[dg] = true
+			corrupted++
+		}
+	}
+
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+
+	repos := make([]string, len(d.Repos))
+	for i := range d.Repos {
+		repos[i] = d.Repos[i].Name
+	}
+	sink := blobstore.NewMemory()
+	dl := &Downloader{Client: &registry.Client{Base: srv.URL}, Workers: 4, Store: sink}
+	res, err := dl.Run(repos)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Images still download (manifests are fine); the corrupted layers are
+	// detected by digest verification and counted as other failures.
+	if res.Stats.Downloaded != len(d.Images) {
+		t.Fatalf("Downloaded = %d, want %d", res.Stats.Downloaded, len(d.Images))
+	}
+	if res.Stats.OtherFailures == 0 {
+		t.Fatal("corrupted layers not detected")
+	}
+	// Corrupted blobs never reach the sink; intact ones all do.
+	for _, dg := range mat.LayerDigests {
+		if tampered.corrupt[dg] {
+			if sink.Has(dg) {
+				t.Fatalf("corrupted layer %s stored", dg.Short())
+			}
+		} else if !sink.Has(dg) {
+			t.Fatalf("intact layer %s missing from sink", dg.Short())
+		}
+	}
+}
+
+// flakyStore fails the first read of every blob, succeeding afterwards —
+// the transient-failure pattern the Retries option exists for.
+type flakyStore struct {
+	blobstore.Store
+	attempts sync.Map // digest -> *atomic.Int64
+}
+
+func (f *flakyStore) Get(d digest.Digest) (io.ReadCloser, int64, error) {
+	v, _ := f.attempts.LoadOrStore(d, &atomic.Int64{})
+	if v.(*atomic.Int64).Add(1) == 1 {
+		return nil, 0, io.ErrUnexpectedEOF
+	}
+	return f.Store.Get(d)
+}
+
+func TestDownloadRetriesTransientFailures(t *testing.T) {
+	d, err := synth.Generate(synth.MaterializeSpec(0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyStore{Store: blobstore.NewMemory()}
+	reg := registry.New(flaky)
+	if _, err := synth.Materialize(d, reg); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+	repos := make([]string, len(d.Repos))
+	for i := range d.Repos {
+		repos[i] = d.Repos[i].Name
+	}
+
+	// Without retries, the first-read failures surface.
+	noRetry := &Downloader{Client: &registry.Client{Base: srv.URL}, Workers: 4}
+	res, err := noRetry.Run(repos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OtherFailures == 0 && res.Stats.Downloaded == len(d.Images) {
+		t.Fatal("flaky store produced no failures without retries")
+	}
+
+	// With retries every image and layer eventually lands. (The flaky
+	// store fails only the first read per blob, so one retry suffices.)
+	flaky2 := &flakyStore{Store: blobstore.NewMemory()}
+	reg2 := registry.New(flaky2)
+	if _, err := synth.Materialize(d, reg2); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(reg2)
+	defer srv2.Close()
+	withRetry := &Downloader{Client: &registry.Client{Base: srv2.URL}, Workers: 4, Retries: 2}
+	res2, err := withRetry.Run(repos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Downloaded != len(d.Images) {
+		t.Fatalf("with retries: downloaded %d, want %d", res2.Stats.Downloaded, len(d.Images))
+	}
+	if res2.Stats.OtherFailures != 0 {
+		t.Fatalf("with retries: %d residual failures", res2.Stats.OtherFailures)
+	}
+	if res2.Stats.UniqueLayers != len(d.Layers) {
+		t.Fatalf("with retries: %d unique layers, want %d", res2.Stats.UniqueLayers, len(d.Layers))
+	}
+}

@@ -1,0 +1,348 @@
+// Package imagebuild implements the build half of Figure 1's ecosystem: a
+// minimal Dockerfile dialect compiled into image layers and a manifest.
+//
+// It exists to reproduce a mechanism the paper discovered in the data
+// (§V-A): "during the image build, Docker creates a new layer for every
+// RUN <cmd> instruction in the Dockerfile. If the <cmd> … does not modify
+// any files in the file system, an empty layer is created" — the single
+// most-shared layer in Docker Hub (184,171 images) is exactly that empty
+// layer. In this builder, every RUN whose command has no filesystem effect
+// emits the canonical empty layer, whose digest is identical across all
+// images, so registries populated by this builder exhibit the paper's
+// empty-layer sharing naturally.
+//
+// Supported instructions (one per line, # comments):
+//
+//	FROM <repo>[:<tag>] | FROM scratch
+//	COPY <path> <literal file content...>
+//	MKDIR <path>
+//	RUN  <command>       # see runEffect for the simulated shell
+//	ENV  <key> <value>   # config-only: no layer
+//	LABEL <key> <value>  # config-only: no layer
+//
+// The simulated RUN shell understands `echo <text> > <path>` (writes a
+// file), `touch <path>` (creates an empty file), and `rm <path>` (emits an
+// overlayfs-style .wh. whiteout). Any other command has no filesystem
+// effect and therefore produces the empty layer.
+package imagebuild
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path"
+	"strings"
+
+	"repro/internal/digest"
+	"repro/internal/manifest"
+	"repro/internal/registry"
+	"repro/internal/tarutil"
+)
+
+// Instruction is one parsed Dockerfile line.
+type Instruction struct {
+	Op   string // upper-case: FROM, RUN, COPY, MKDIR, ENV, LABEL
+	Args []string
+	Raw  string
+}
+
+// Parse reads the Dockerfile dialect. The first non-comment instruction
+// must be FROM.
+func Parse(dockerfile string) ([]Instruction, error) {
+	var out []Instruction
+	for lineNo, line := range strings.Split(dockerfile, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		op := strings.ToUpper(fields[0])
+		inst := Instruction{Op: op, Args: fields[1:], Raw: trimmed}
+		switch op {
+		case "FROM":
+			if len(inst.Args) != 1 {
+				return nil, fmt.Errorf("imagebuild: line %d: FROM takes one argument", lineNo+1)
+			}
+		case "RUN":
+			if len(inst.Args) == 0 {
+				return nil, fmt.Errorf("imagebuild: line %d: RUN needs a command", lineNo+1)
+			}
+		case "COPY":
+			if len(inst.Args) < 2 {
+				return nil, fmt.Errorf("imagebuild: line %d: COPY needs a path and content", lineNo+1)
+			}
+		case "MKDIR":
+			if len(inst.Args) != 1 {
+				return nil, fmt.Errorf("imagebuild: line %d: MKDIR takes one path", lineNo+1)
+			}
+		case "ENV", "LABEL":
+			if len(inst.Args) < 2 {
+				return nil, fmt.Errorf("imagebuild: line %d: %s needs a key and value", lineNo+1, op)
+			}
+		default:
+			return nil, fmt.Errorf("imagebuild: line %d: unknown instruction %q", lineNo+1, fields[0])
+		}
+		out = append(out, inst)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("imagebuild: empty Dockerfile")
+	}
+	if out[0].Op != "FROM" {
+		return nil, fmt.Errorf("imagebuild: first instruction must be FROM, got %s", out[0].Op)
+	}
+	for _, inst := range out[1:] {
+		if inst.Op == "FROM" {
+			return nil, fmt.Errorf("imagebuild: multi-stage builds not supported")
+		}
+	}
+	return out, nil
+}
+
+// BaseResolver supplies base-image manifests for FROM lines. A registry
+// client satisfies it via ClientResolver.
+type BaseResolver interface {
+	Base(repo, tag string) (*manifest.Manifest, error)
+}
+
+// ResolverFunc adapts a function to BaseResolver.
+type ResolverFunc func(repo, tag string) (*manifest.Manifest, error)
+
+// Base implements BaseResolver.
+func (f ResolverFunc) Base(repo, tag string) (*manifest.Manifest, error) { return f(repo, tag) }
+
+// Image is a built image: the manifest, its config blob, and every NEW
+// blob the build produced (base layers are referenced, not copied).
+type Image struct {
+	Manifest *manifest.Manifest
+	Config   []byte
+	// Blobs maps digest → content for the layers this build created (and
+	// the config). Push these before the manifest.
+	Blobs map[digest.Digest][]byte
+	// EmptyLayers counts RUN instructions that produced the empty layer.
+	EmptyLayers int
+}
+
+// config is the image configuration the builder accumulates.
+type buildConfig struct {
+	manifest.Config
+	Env    map[string]string `json:"env,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Builder compiles Dockerfiles.
+type Builder struct {
+	// Resolver resolves FROM references; required unless every build is
+	// FROM scratch.
+	Resolver BaseResolver
+}
+
+// EmptyLayer returns the canonical empty layer blob (a gzip-compressed
+// empty tar) — byte-identical for every build, hence maximally shared.
+func EmptyLayer() []byte {
+	var buf bytes.Buffer
+	b, err := tarutil.NewGzipBuilder(&buf, 0)
+	if err != nil {
+		panic(err) // cannot happen with a valid level
+	}
+	if err := b.Close(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// Build compiles the Dockerfile into an image.
+func (b *Builder) Build(dockerfile string) (*Image, error) {
+	insts, err := Parse(dockerfile)
+	if err != nil {
+		return nil, err
+	}
+
+	img := &Image{Blobs: make(map[digest.Digest][]byte)}
+	cfg := buildConfig{
+		Config: manifest.Config{Architecture: "amd64", OS: "linux"},
+		Env:    map[string]string{},
+		Labels: map[string]string{},
+	}
+	var layers []manifest.Descriptor
+
+	// FROM.
+	from := insts[0].Args[0]
+	if from != "scratch" {
+		if b.Resolver == nil {
+			return nil, fmt.Errorf("imagebuild: FROM %s requires a resolver", from)
+		}
+		repo, tag := from, "latest"
+		if i := strings.LastIndex(from, ":"); i > 0 {
+			repo, tag = from[:i], from[i+1:]
+		}
+		base, err := b.Resolver.Base(repo, tag)
+		if err != nil {
+			return nil, fmt.Errorf("imagebuild: resolving FROM %s: %w", from, err)
+		}
+		layers = append(layers, base.Layers...)
+	}
+
+	for _, inst := range insts[1:] {
+		switch inst.Op {
+		case "ENV":
+			cfg.Env[inst.Args[0]] = strings.Join(inst.Args[1:], " ")
+		case "LABEL":
+			cfg.Labels[inst.Args[0]] = strings.Join(inst.Args[1:], " ")
+		case "COPY", "MKDIR", "RUN":
+			blob, empty, err := layerFor(inst)
+			if err != nil {
+				return nil, err
+			}
+			if empty {
+				img.EmptyLayers++
+			}
+			d := digest.FromBytes(blob)
+			img.Blobs[d] = blob
+			layers = append(layers, manifest.Descriptor{
+				MediaType: manifest.MediaTypeLayer,
+				Size:      int64(len(blob)),
+				Digest:    d,
+			})
+		}
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("imagebuild: image has no layers (FROM scratch needs at least one filesystem instruction)")
+	}
+
+	rawCfg, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("imagebuild: encoding config: %w", err)
+	}
+	img.Config = rawCfg
+	cfgDg := digest.FromBytes(rawCfg)
+	img.Blobs[cfgDg] = rawCfg
+
+	m, err := manifest.New(manifest.Descriptor{
+		MediaType: manifest.MediaTypeConfig,
+		Size:      int64(len(rawCfg)),
+		Digest:    cfgDg,
+	}, layers)
+	if err != nil {
+		return nil, err
+	}
+	img.Manifest = m
+	return img, nil
+}
+
+// layerFor renders the layer one filesystem instruction produces; empty
+// reports whether it is the canonical empty layer.
+func layerFor(inst Instruction) (blob []byte, empty bool, err error) {
+	entries, err := fsEffect(inst)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(entries) == 0 {
+		// "If the <cmd> … does not modify any files in the file system,
+		// an empty layer is created."
+		return EmptyLayer(), true, nil
+	}
+	var buf bytes.Buffer
+	b, err := tarutil.NewGzipBuilder(&buf, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, e := range entries {
+		if e.dir {
+			err = b.Dir(e.path)
+		} else {
+			err = b.File(e.path, e.content)
+		}
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	if err := b.Close(); err != nil {
+		return nil, false, err
+	}
+	return buf.Bytes(), false, nil
+}
+
+type fsEntry struct {
+	path    string
+	dir     bool
+	content []byte
+}
+
+// fsEffect computes the filesystem changes of one instruction.
+func fsEffect(inst Instruction) ([]fsEntry, error) {
+	clean := func(p string) string { return strings.TrimPrefix(path.Clean(p), "/") }
+	switch inst.Op {
+	case "COPY":
+		return []fsEntry{{
+			path:    clean(inst.Args[0]),
+			content: []byte(strings.Join(inst.Args[1:], " ")),
+		}}, nil
+	case "MKDIR":
+		return []fsEntry{{path: clean(inst.Args[0]), dir: true}}, nil
+	case "RUN":
+		return runEffect(inst.Args)
+	}
+	return nil, fmt.Errorf("imagebuild: %s has no filesystem effect", inst.Op)
+}
+
+// runEffect is the simulated shell: a tiny command language whose commands
+// either change files or (like apt-get clean, ldconfig, chmod on nothing…)
+// leave the filesystem untouched and yield the empty layer.
+func runEffect(args []string) ([]fsEntry, error) {
+	clean := func(p string) string { return strings.TrimPrefix(path.Clean(p), "/") }
+	switch args[0] {
+	case "echo":
+		// echo <words...> > <path>
+		for i, a := range args {
+			if a == ">" {
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("imagebuild: RUN echo: missing redirect target")
+				}
+				return []fsEntry{{
+					path:    clean(args[i+1]),
+					content: []byte(strings.Join(args[1:i], " ") + "\n"),
+				}}, nil
+			}
+		}
+		return nil, nil // echo to stdout: no filesystem change
+	case "touch":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("imagebuild: RUN touch takes one path")
+		}
+		return []fsEntry{{path: clean(args[1]), content: []byte{}}}, nil
+	case "rm":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("imagebuild: RUN rm takes one path")
+		}
+		// Overlayfs whiteout convention: deletions materialize as a
+		// .wh.<name> marker in the layer.
+		p := clean(args[1])
+		dir, base := path.Split(p)
+		return []fsEntry{{path: dir + ".wh." + base, content: []byte{}}}, nil
+	default:
+		// Arbitrary command with no tracked filesystem effect.
+		return nil, nil
+	}
+}
+
+// Push uploads a built image to a registry repository under tag.
+func Push(c *registry.Client, repo, tag string, img *Image) (digest.Digest, error) {
+	for d, blob := range img.Blobs {
+		got, err := c.PushBlob(repo, blob)
+		if err != nil {
+			return "", fmt.Errorf("imagebuild: pushing blob %s: %w", d.Short(), err)
+		}
+		if got != d {
+			return "", fmt.Errorf("imagebuild: blob digest drift: %s vs %s", got.Short(), d.Short())
+		}
+	}
+	return c.PushManifest(repo, tag, img.Manifest)
+}
+
+// ClientResolver resolves FROM references against a registry client.
+func ClientResolver(c *registry.Client) BaseResolver {
+	return ResolverFunc(func(repo, tag string) (*manifest.Manifest, error) {
+		m, _, err := c.Manifest(repo, tag)
+		return m, err
+	})
+}

@@ -1,0 +1,294 @@
+package imagebuild
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+	"repro/internal/registry"
+	"repro/internal/tarutil"
+)
+
+func TestParseValid(t *testing.T) {
+	insts, err := Parse(`
+# build the demo app
+FROM scratch
+MKDIR /app
+COPY /app/config.json {"port":8080}
+RUN echo ready > /app/state
+ENV PATH /usr/bin
+LABEL maintainer demo
+RUN ldconfig
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]string, len(insts))
+	for i, in := range insts {
+		ops[i] = in.Op
+	}
+	want := []string{"FROM", "MKDIR", "COPY", "RUN", "ENV", "LABEL", "RUN"}
+	if strings.Join(ops, ",") != strings.Join(want, ",") {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                          // empty
+		"RUN ls",                    // no FROM first
+		"FROM a b",                  // FROM arity
+		"FROM scratch\nRUN",         // RUN arity
+		"FROM scratch\nCOPY /x",     // COPY arity
+		"FROM scratch\nMKDIR a b",   // MKDIR arity
+		"FROM scratch\nENV K",       // ENV arity
+		"FROM scratch\nBOGUS x",     // unknown op
+		"FROM a\nFROM b",            // multi-stage
+		"FROM scratch\nLABEL only1", // LABEL arity
+	}
+	for _, df := range cases {
+		if _, err := Parse(df); err == nil {
+			t.Errorf("Parse(%q) succeeded", df)
+		}
+	}
+}
+
+func TestBuildFromScratch(t *testing.T) {
+	b := &Builder{}
+	img, err := b.Build(`
+FROM scratch
+MKDIR /etc
+COPY /etc/hostname demo-host
+RUN echo hello > /greeting
+RUN apt-get clean
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(img.Manifest.Layers); got != 4 {
+		t.Fatalf("layers = %d, want 4 (mkdir, copy, echo, empty)", got)
+	}
+	if img.EmptyLayers != 1 {
+		t.Fatalf("EmptyLayers = %d, want 1", img.EmptyLayers)
+	}
+	// The last layer is the canonical empty layer.
+	last := img.Manifest.Layers[3]
+	if last.Digest != digest.FromBytes(EmptyLayer()) {
+		t.Fatal("no-op RUN did not produce the canonical empty layer")
+	}
+	// Layer contents round-trip through tar.
+	blob := img.Blobs[img.Manifest.Layers[1].Digest]
+	var found string
+	err = tarutil.WalkGzip(bytes.NewReader(blob), func(e tarutil.Entry, r io.Reader) error {
+		if r != nil {
+			data, _ := io.ReadAll(r)
+			found = e.Name + "=" + string(data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != "etc/hostname=demo-host" {
+		t.Fatalf("copy layer content: %q", found)
+	}
+}
+
+// TestEmptyLayerSharedAcrossBuilds reproduces the paper's §V-A mechanism:
+// images built with no-op RUN instructions all reference one identical
+// empty layer.
+func TestEmptyLayerSharedAcrossBuilds(t *testing.T) {
+	b := &Builder{}
+	img1, err := b.Build("FROM scratch\nCOPY /a one\nRUN ldconfig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := b.Build("FROM scratch\nCOPY /b two\nRUN update-ca-certificates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := img1.Manifest.Layers[1].Digest
+	d2 := img2.Manifest.Layers[1].Digest
+	if d1 != d2 {
+		t.Fatal("empty layers differ across builds — sharing broken")
+	}
+	if img1.Manifest.Layers[0].Digest == img2.Manifest.Layers[0].Digest {
+		t.Fatal("distinct COPY layers collided")
+	}
+}
+
+func TestRunShellEffects(t *testing.T) {
+	b := &Builder{}
+	img, err := b.Build(`
+FROM scratch
+RUN touch /var/lock
+RUN rm /etc/passwd
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.EmptyLayers != 0 {
+		t.Fatalf("EmptyLayers = %d, want 0", img.EmptyLayers)
+	}
+	// rm produces an overlayfs whiteout.
+	blob := img.Blobs[img.Manifest.Layers[1].Digest]
+	var names []string
+	tarutil.WalkGzip(bytes.NewReader(blob), func(e tarutil.Entry, r io.Reader) error {
+		names = append(names, e.Name)
+		return nil
+	})
+	if len(names) != 1 || names[0] != "etc/.wh.passwd" {
+		t.Fatalf("rm layer entries: %v", names)
+	}
+}
+
+func TestEchoWithoutRedirectIsEmpty(t *testing.T) {
+	b := &Builder{}
+	img, err := b.Build("FROM scratch\nCOPY /x y\nRUN echo starting build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.EmptyLayers != 1 {
+		t.Fatalf("echo-to-stdout produced a non-empty layer")
+	}
+}
+
+func TestEnvAndLabelNoLayer(t *testing.T) {
+	b := &Builder{}
+	img, err := b.Build("FROM scratch\nCOPY /x y\nENV A 1\nLABEL who demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Manifest.Layers) != 1 {
+		t.Fatalf("config-only instructions created layers: %d", len(img.Manifest.Layers))
+	}
+	if !strings.Contains(string(img.Config), `"A":"1"`) {
+		t.Fatalf("ENV not in config: %s", img.Config)
+	}
+}
+
+func TestBuildFromScratchNeedsLayers(t *testing.T) {
+	b := &Builder{}
+	if _, err := b.Build("FROM scratch\nENV A 1"); err == nil {
+		t.Fatal("layerless image accepted")
+	}
+}
+
+func TestBuildFromBase(t *testing.T) {
+	// Stand up a registry holding a base image, then build FROM it.
+	reg := registry.New(blobstore.NewMemory())
+	reg.CreateRepo("library/base", false)
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+	c := &registry.Client{Base: srv.URL}
+
+	builder := &Builder{Resolver: ClientResolver(c)}
+	base, err := builder.Build("FROM scratch\nCOPY /etc/os-release synthetic-linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Push(c, "library/base", "latest", base); err != nil {
+		t.Fatal(err)
+	}
+
+	app, err := builder.Build("FROM library/base\nCOPY /app/bin fake-binary\nRUN ldconfig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Manifest.Layers) != 3 {
+		t.Fatalf("app layers = %d, want base+copy+empty = 3", len(app.Manifest.Layers))
+	}
+	if app.Manifest.Layers[0].Digest != base.Manifest.Layers[0].Digest {
+		t.Fatal("base layer not inherited")
+	}
+
+	// The app pushes and pulls: base layers are already in the registry.
+	reg.CreateRepo("demo/app", false)
+	if _, err := Push(c, "demo/app", "latest", app); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := c.Manifest("demo/app", "latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.Layers {
+		if _, err := c.BlobVerified("demo/app", l.Digest); err != nil {
+			t.Fatalf("layer %s not pullable: %v", l.Digest.Short(), err)
+		}
+	}
+}
+
+func TestBuildFromBaseWithoutResolver(t *testing.T) {
+	b := &Builder{}
+	if _, err := b.Build("FROM ubuntu\nCOPY /x y"); err == nil {
+		t.Fatal("FROM without resolver accepted")
+	}
+}
+
+// Property: Parse never panics and either errors or yields a FROM-first
+// instruction list, for arbitrary input.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		insts, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		return len(insts) > 0 && insts[0].Op == "FROM"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Build on any parseable scratch Dockerfile either errors or
+// yields a valid manifest whose blobs are all present.
+func TestQuickBuildConsistency(t *testing.T) {
+	b := &Builder{}
+	f := func(pathSeed, contentSeed uint16, noop bool) bool {
+		df := fmt.Sprintf("FROM scratch\nCOPY /p%d c%d\n", pathSeed, contentSeed)
+		if noop {
+			df += "RUN some-command\n"
+		}
+		img, err := b.Build(df)
+		if err != nil {
+			return false
+		}
+		if err := img.Manifest.Validate(); err != nil {
+			return false
+		}
+		for _, l := range img.Manifest.Layers {
+			if _, ok := img.Blobs[l.Digest]; !ok {
+				return false
+			}
+		}
+		_, ok := img.Blobs[img.Manifest.Config.Digest]
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	b := &Builder{}
+	df := "FROM scratch\nCOPY /app/data payload\nRUN echo x > /y"
+	img1, err := b.Build(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := b.Build(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := img1.Manifest.Digest()
+	d2, _ := img2.Manifest.Digest()
+	if d1 != d2 {
+		t.Fatal("identical Dockerfiles built different images")
+	}
+}

@@ -1,0 +1,197 @@
+// Package ocilayout writes and reads the OCI Image Layout directory
+// format, the interchange on-disk form other container tooling
+// (containerd, skopeo, podman) consumes:
+//
+//	<root>/oci-layout                      version marker
+//	<root>/index.json                      image index (manifest refs + tags)
+//	<root>/blobs/sha256/<hex>              content-addressed blobs
+//
+// Exporting the study's downloaded images to a layout makes the synthetic
+// dataset portable beyond this repository; importing reads a layout back
+// into a blob store for analysis.
+package ocilayout
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+	"repro/internal/manifest"
+)
+
+// OCI media types for the index and layout marker.
+const (
+	MediaTypeIndex       = "application/vnd.oci.image.index.v1+json"
+	layoutVersion        = "1.0.0"
+	annotationRefName    = "org.opencontainers.image.ref.name"
+	layoutMarkerFileName = "oci-layout"
+)
+
+// layoutMarker is the oci-layout file content.
+type layoutMarker struct {
+	Version string `json:"imageLayoutVersion"`
+}
+
+// indexDoc is index.json.
+type indexDoc struct {
+	SchemaVersion int               `json:"schemaVersion"`
+	MediaType     string            `json:"mediaType"`
+	Manifests     []indexDescriptor `json:"manifests"`
+}
+
+type indexDescriptor struct {
+	MediaType   string            `json:"mediaType"`
+	Size        int64             `json:"size"`
+	Digest      digest.Digest     `json:"digest"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+}
+
+// Ref names one image to export: the manifest digest plus its reference
+// name (repo:tag).
+type Ref struct {
+	Name     string
+	Manifest digest.Digest
+}
+
+// Export writes the referenced images and every blob they reach (manifest,
+// config, layers) from the store into an OCI layout rooted at dir.
+func Export(dir string, store blobstore.Store, refs []Ref) error {
+	if len(refs) == 0 {
+		return errors.New("ocilayout: nothing to export")
+	}
+	blobDir := filepath.Join(dir, "blobs", "sha256")
+	if err := os.MkdirAll(blobDir, 0o755); err != nil {
+		return fmt.Errorf("ocilayout: creating layout: %w", err)
+	}
+
+	copyBlob := func(d digest.Digest) (int64, error) {
+		rc, size, err := store.Get(d)
+		if err != nil {
+			return 0, fmt.Errorf("ocilayout: blob %s: %w", d.Short(), err)
+		}
+		defer rc.Close()
+		dst := filepath.Join(blobDir, d.Hex())
+		if _, err := os.Stat(dst); err == nil {
+			return size, nil // content-addressed: already present
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			return 0, fmt.Errorf("ocilayout: writing blob: %w", err)
+		}
+		defer f.Close()
+		if _, err := io.Copy(f, rc); err != nil {
+			return 0, fmt.Errorf("ocilayout: copying blob: %w", err)
+		}
+		return size, nil
+	}
+
+	idx := indexDoc{SchemaVersion: 2, MediaType: MediaTypeIndex}
+	for _, ref := range refs {
+		size, err := copyBlob(ref.Manifest)
+		if err != nil {
+			return err
+		}
+		rc, _, err := store.Get(ref.Manifest)
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return err
+		}
+		m, err := manifest.Unmarshal(raw)
+		if err != nil {
+			return fmt.Errorf("ocilayout: manifest %s: %w", ref.Manifest.Short(), err)
+		}
+		if _, err := copyBlob(m.Config.Digest); err != nil {
+			return err
+		}
+		for _, l := range m.Layers {
+			if _, err := copyBlob(l.Digest); err != nil {
+				return err
+			}
+		}
+		idx.Manifests = append(idx.Manifests, indexDescriptor{
+			MediaType:   manifest.MediaTypeManifest,
+			Size:        size,
+			Digest:      ref.Manifest,
+			Annotations: map[string]string{annotationRefName: ref.Name},
+		})
+	}
+
+	rawIdx, err := json.MarshalIndent(idx, "", " ")
+	if err != nil {
+		return fmt.Errorf("ocilayout: encoding index: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), rawIdx, 0o644); err != nil {
+		return fmt.Errorf("ocilayout: writing index: %w", err)
+	}
+	marker, err := json.Marshal(layoutMarker{Version: layoutVersion})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, layoutMarkerFileName), marker, 0o644); err != nil {
+		return fmt.Errorf("ocilayout: writing marker: %w", err)
+	}
+	return nil
+}
+
+// Import reads a layout into the store, verifying every blob against its
+// file name, and returns the image references from the index.
+func Import(dir string, store blobstore.Store) ([]Ref, error) {
+	rawMarker, err := os.ReadFile(filepath.Join(dir, layoutMarkerFileName))
+	if err != nil {
+		return nil, fmt.Errorf("ocilayout: not a layout: %w", err)
+	}
+	var marker layoutMarker
+	if err := json.Unmarshal(rawMarker, &marker); err != nil || marker.Version == "" {
+		return nil, fmt.Errorf("ocilayout: malformed oci-layout marker")
+	}
+
+	rawIdx, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil, fmt.Errorf("ocilayout: reading index: %w", err)
+	}
+	var idx indexDoc
+	if err := json.Unmarshal(rawIdx, &idx); err != nil {
+		return nil, fmt.Errorf("ocilayout: parsing index: %w", err)
+	}
+
+	// Ingest every blob file, verifying content addressing.
+	blobDir := filepath.Join(dir, "blobs", "sha256")
+	entries, err := os.ReadDir(blobDir)
+	if err != nil {
+		return nil, fmt.Errorf("ocilayout: reading blobs: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		want, err := digest.Parse(digest.Algorithm + ":" + e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("ocilayout: foreign file %q in blobs/sha256", e.Name())
+		}
+		content, err := os.ReadFile(filepath.Join(blobDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		if err := store.PutVerified(want, content); err != nil {
+			return nil, fmt.Errorf("ocilayout: blob %s corrupt: %w", want.Short(), err)
+		}
+	}
+
+	var refs []Ref
+	for _, d := range idx.Manifests {
+		if !store.Has(d.Digest) {
+			return nil, fmt.Errorf("ocilayout: index references missing manifest %s", d.Digest.Short())
+		}
+		refs = append(refs, Ref{Name: d.Annotations[annotationRefName], Manifest: d.Digest})
+	}
+	return refs, nil
+}

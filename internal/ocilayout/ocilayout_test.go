@@ -1,0 +1,186 @@
+package ocilayout
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+	"repro/internal/manifest"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+// materialized returns a populated store plus image refs.
+func materialized(t *testing.T) (blobstore.Store, []Ref) {
+	t.Helper()
+	d, err := synth.Generate(synth.MaterializeSpec(0.0001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(blobstore.NewMemory())
+	mat, err := synth.Materialize(d, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []Ref
+	for i := range d.Repos {
+		r := &d.Repos[i]
+		if r.Downloadable() {
+			refs = append(refs, Ref{Name: r.Name + ":latest", Manifest: mat.ManifestDigests[r.Image]})
+		}
+	}
+	return reg.Blobs(), refs
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	store, refs := materialized(t)
+	dir := t.TempDir()
+	if err := Export(dir, store, refs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structure exists.
+	for _, p := range []string{"oci-layout", "index.json", "blobs/sha256"} {
+		if _, err := os.Stat(filepath.Join(dir, p)); err != nil {
+			t.Fatalf("layout missing %s: %v", p, err)
+		}
+	}
+
+	// Import into a fresh store: identical refs, all blobs verified.
+	fresh := blobstore.NewMemory()
+	got, err := Import(dir, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("imported %d refs, want %d", len(got), len(refs))
+	}
+	byName := map[string]digest.Digest{}
+	for _, r := range got {
+		byName[r.Name] = r.Manifest
+	}
+	for _, r := range refs {
+		if byName[r.Name] != r.Manifest {
+			t.Fatalf("ref %s digest changed", r.Name)
+		}
+		// The manifest's whole closure is present.
+		rc, _, err := fresh.Get(r.Manifest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := make([]byte, 1<<20)
+		n, _ := rc.Read(raw)
+		rc.Close()
+		m, err := manifest.Unmarshal(raw[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fresh.Has(m.Config.Digest) {
+			t.Fatal("config blob missing after import")
+		}
+		for _, l := range m.Layers {
+			if !fresh.Has(l.Digest) {
+				t.Fatal("layer blob missing after import")
+			}
+		}
+	}
+}
+
+func TestExportSharedBlobsOnce(t *testing.T) {
+	store, refs := materialized(t)
+	dir := t.TempDir()
+	if err := Export(dir, store, refs); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "blobs", "sha256"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The layout holds each unique blob once; shared base layers are not
+	// duplicated per image. The count must therefore be far below
+	// sum-over-images of per-image blob counts.
+	var perImage int
+	for range refs {
+		perImage += 3 // manifest + config + >=1 layer, lower bound
+	}
+	if len(entries) == 0 || len(entries) >= perImage*10 {
+		t.Fatalf("blob count %d suspicious", len(entries))
+	}
+}
+
+func TestExportEmpty(t *testing.T) {
+	if err := Export(t.TempDir(), blobstore.NewMemory(), nil); err == nil {
+		t.Fatal("empty export succeeded")
+	}
+}
+
+func TestExportMissingBlob(t *testing.T) {
+	store := blobstore.NewMemory()
+	refs := []Ref{{Name: "x:latest", Manifest: digest.FromString("missing")}}
+	if err := Export(t.TempDir(), store, refs); err == nil {
+		t.Fatal("export with missing manifest succeeded")
+	}
+}
+
+func TestImportRejectsCorruptBlob(t *testing.T) {
+	store, refs := materialized(t)
+	dir := t.TempDir()
+	if err := Export(dir, store, refs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one blob file.
+	blobDir := filepath.Join(dir, "blobs", "sha256")
+	entries, _ := os.ReadDir(blobDir)
+	target := filepath.Join(blobDir, entries[0].Name())
+	if err := os.WriteFile(target, []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir, blobstore.NewMemory()); err == nil {
+		t.Fatal("corrupt layout imported")
+	}
+}
+
+func TestImportRejectsNonLayout(t *testing.T) {
+	if _, err := Import(t.TempDir(), blobstore.NewMemory()); err == nil {
+		t.Fatal("empty dir imported")
+	}
+}
+
+func TestImportRejectsForeignBlobFile(t *testing.T) {
+	store, refs := materialized(t)
+	dir := t.TempDir()
+	if err := Export(dir, store, refs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "blobs", "sha256", "not-a-digest"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Import(dir, blobstore.NewMemory()); err == nil {
+		t.Fatal("foreign blob file accepted")
+	}
+}
+
+func TestIndexJSONShape(t *testing.T) {
+	store, refs := materialized(t)
+	dir := t.TempDir()
+	if err := Export(dir, store, refs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx map[string]any
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx["schemaVersion"].(float64) != 2 {
+		t.Fatal("index schemaVersion != 2")
+	}
+	if idx["mediaType"] != MediaTypeIndex {
+		t.Fatalf("index mediaType = %v", idx["mediaType"])
+	}
+}

@@ -1,0 +1,134 @@
+// Package pullsim models client pull latency under registry storage
+// policies, quantifying the paper's §IV-A(a) observation: "as the majority
+// of layers are small and have low compression ratios, it can be
+// beneficial to store small layers uncompressed in the registry to reduce
+// pull latencies."
+//
+// A pull of a compressed layer transfers CLS bytes and then decompresses
+// to FLS bytes; an uncompressed pull transfers FLS bytes and skips the
+// decompression. Compression wins when the network is slow relative to the
+// client's decompressor and the layer compresses well; the crossover is
+// analytic and the simulator sweeps it over a real layer population.
+package pullsim
+
+import (
+	"errors"
+	"math"
+)
+
+// Link models the client-side pull path.
+type Link struct {
+	// BandwidthBps is the network throughput in bytes per second.
+	BandwidthBps float64
+	// DecompressBps is the client's gunzip throughput in *output* bytes
+	// per second (how fast FLS bytes emerge from the decompressor).
+	DecompressBps float64
+	// RTTSeconds is the fixed per-layer request overhead.
+	RTTSeconds float64
+}
+
+// Validate reports whether the link parameters are usable.
+func (l Link) Validate() error {
+	if l.BandwidthBps <= 0 || l.DecompressBps <= 0 || l.RTTSeconds < 0 {
+		return errors.New("pullsim: link parameters must be positive")
+	}
+	return nil
+}
+
+// DefaultLink approximates the paper's setting: a 100 Mbit/s client link
+// and a single-core gzip decompressor (~150 MB/s of output).
+func DefaultLink() Link {
+	return Link{
+		BandwidthBps:  100e6 / 8,
+		DecompressBps: 150e6,
+		RTTSeconds:    0.050,
+	}
+}
+
+// PullLayer returns the seconds to pull one layer.
+func PullLayer(cls, fls int64, compressed bool, l Link) float64 {
+	if compressed {
+		return l.RTTSeconds + float64(cls)/l.BandwidthBps + float64(fls)/l.DecompressBps
+	}
+	return l.RTTSeconds + float64(fls)/l.BandwidthBps
+}
+
+// CrossoverBandwidth returns the network bandwidth (bytes/s) below which
+// the compressed transfer of a layer with the given FLS/CLS ratio is
+// faster. Above it the uncompressed transfer wins:
+//
+//	FLS/B  <  CLS/B + FLS/D   ⇔   B > D·(1 − 1/ratio)
+//
+// Ratios ≤ 1 (incompressible layers) return 0: uncompressed always wins.
+func CrossoverBandwidth(ratio, decompressBps float64) float64 {
+	if ratio <= 1 {
+		return 0
+	}
+	return decompressBps * (1 - 1/ratio)
+}
+
+// LayerInfo is the size pair the simulator needs per layer.
+type LayerInfo struct {
+	CLS, FLS int64
+}
+
+// PolicyResult summarizes a sweep of one storage policy over a layer
+// population.
+type PolicyResult struct {
+	// Threshold is the policy: layers with FLS below it are stored
+	// uncompressed (0 = everything compressed).
+	Threshold int64
+	// MeanSeconds and TotalSeconds are per-layer and whole-population
+	// pull times.
+	MeanSeconds, TotalSeconds float64
+	// BytesOnWire is the total transferred volume.
+	BytesOnWire int64
+	// UncompressedLayers counts layers served without gzip.
+	UncompressedLayers int
+}
+
+// Evaluate sweeps one threshold policy over the population.
+func Evaluate(layers []LayerInfo, threshold int64, l Link) (PolicyResult, error) {
+	if err := l.Validate(); err != nil {
+		return PolicyResult{}, err
+	}
+	res := PolicyResult{Threshold: threshold}
+	for _, lay := range layers {
+		compressed := threshold <= 0 || lay.FLS >= threshold
+		res.TotalSeconds += PullLayer(lay.CLS, lay.FLS, compressed, l)
+		if compressed {
+			res.BytesOnWire += lay.CLS
+		} else {
+			res.BytesOnWire += lay.FLS
+			res.UncompressedLayers++
+		}
+	}
+	if len(layers) > 0 {
+		res.MeanSeconds = res.TotalSeconds / float64(len(layers))
+	}
+	return res, nil
+}
+
+// BestThreshold searches candidate thresholds for the lowest total pull
+// time over the population on the given link, returning the winning policy
+// result. Candidates always include 0 (all compressed) and +inf (all
+// uncompressed).
+func BestThreshold(layers []LayerInfo, candidates []int64, l Link) (PolicyResult, error) {
+	if err := l.Validate(); err != nil {
+		return PolicyResult{}, err
+	}
+	all := append([]int64{0, math.MaxInt64}, candidates...)
+	var best PolicyResult
+	first := true
+	for _, th := range all {
+		r, err := Evaluate(layers, th, l)
+		if err != nil {
+			return PolicyResult{}, err
+		}
+		if first || r.TotalSeconds < best.TotalSeconds {
+			best = r
+			first = false
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,133 @@
+package pullsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPullLayerComponents(t *testing.T) {
+	l := Link{BandwidthBps: 100, DecompressBps: 200, RTTSeconds: 1}
+	// Compressed: 1 + 50/100 + 200/200 = 2.5.
+	if got := PullLayer(50, 200, true, l); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("compressed pull = %v, want 2.5", got)
+	}
+	// Uncompressed: 1 + 200/100 = 3.
+	if got := PullLayer(50, 200, false, l); math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("uncompressed pull = %v, want 3", got)
+	}
+}
+
+func TestCrossoverBandwidth(t *testing.T) {
+	// ratio 2.6 on a 150 MB/s decompressor: B* = 150e6 * (1 - 1/2.6).
+	want := 150e6 * (1 - 1/2.6)
+	if got := CrossoverBandwidth(2.6, 150e6); math.Abs(got-want) > 1 {
+		t.Errorf("crossover = %v, want %v", got, want)
+	}
+	if CrossoverBandwidth(1.0, 150e6) != 0 {
+		t.Error("incompressible layer should always favor uncompressed")
+	}
+	if CrossoverBandwidth(0.8, 150e6) != 0 {
+		t.Error("expanding layer should always favor uncompressed")
+	}
+}
+
+// Property: at any bandwidth strictly above the crossover the uncompressed
+// pull is faster, strictly below it the compressed pull is faster.
+func TestQuickCrossoverConsistency(t *testing.T) {
+	f := func(clsSeed, flsSeed uint32) bool {
+		cls := int64(clsSeed%1_000_000) + 1
+		fls := cls + int64(flsSeed%10_000_000)
+		ratio := float64(fls) / float64(cls)
+		const d = 150e6
+		bStar := CrossoverBandwidth(ratio, d)
+		if bStar == 0 {
+			return true
+		}
+		above := Link{BandwidthBps: bStar * 1.1, DecompressBps: d}
+		below := Link{BandwidthBps: bStar * 0.9, DecompressBps: d}
+		fastUncompAbove := PullLayer(cls, fls, false, above) <= PullLayer(cls, fls, true, above)+1e-9
+		fastCompBelow := PullLayer(cls, fls, true, below) <= PullLayer(cls, fls, false, below)+1e-9
+		return fastUncompAbove && fastCompBelow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatePolicies(t *testing.T) {
+	layers := []LayerInfo{
+		{CLS: 100, FLS: 260},       // small, ratio 2.6
+		{CLS: 1000, FLS: 2600},     // medium
+		{CLS: 100000, FLS: 260000}, // large
+	}
+	l := Link{BandwidthBps: 1000, DecompressBps: 2000, RTTSeconds: 0}
+
+	allComp, err := Evaluate(layers, 0, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allComp.UncompressedLayers != 0 {
+		t.Fatalf("threshold 0 stored %d layers uncompressed", allComp.UncompressedLayers)
+	}
+	if allComp.BytesOnWire != 101100 {
+		t.Fatalf("BytesOnWire = %d", allComp.BytesOnWire)
+	}
+
+	smallUncomp, err := Evaluate(layers, 1000, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallUncomp.UncompressedLayers != 1 {
+		t.Fatalf("threshold 1000: %d uncompressed, want 1", smallUncomp.UncompressedLayers)
+	}
+	// More bytes on the wire when skipping compression.
+	if smallUncomp.BytesOnWire <= allComp.BytesOnWire {
+		t.Fatal("uncompressed policy moved fewer bytes")
+	}
+}
+
+func TestEvaluateEmptyAndErrors(t *testing.T) {
+	r, err := Evaluate(nil, 0, DefaultLink())
+	if err != nil || r.MeanSeconds != 0 {
+		t.Fatalf("empty population: %+v %v", r, err)
+	}
+	if _, err := Evaluate(nil, 0, Link{}); err == nil {
+		t.Fatal("invalid link accepted")
+	}
+}
+
+func TestBestThresholdPicksExtremes(t *testing.T) {
+	layers := []LayerInfo{{CLS: 1000, FLS: 2600}}
+	// Network much faster than decompressor: uncompressed must win.
+	fast := Link{BandwidthBps: 1e9, DecompressBps: 1e6, RTTSeconds: 0}
+	best, err := BestThreshold(layers, []int64{100}, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.UncompressedLayers != 1 {
+		t.Fatalf("fast network: best policy still compresses (%+v)", best)
+	}
+	// Slow network: compression must win.
+	slow := Link{BandwidthBps: 1e3, DecompressBps: 1e9, RTTSeconds: 0}
+	best, err = BestThreshold(layers, []int64{100}, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.UncompressedLayers != 0 {
+		t.Fatalf("slow network: best policy skips compression (%+v)", best)
+	}
+}
+
+func TestDefaultLinkSane(t *testing.T) {
+	l := DefaultLink()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// On the default link the crossover for the median ratio 2.6 sits at
+	// ~92 MB/s output — well above the 12.5 MB/s link, so compression
+	// wins for typical layers (matching practice: registries gzip).
+	if CrossoverBandwidth(2.6, l.DecompressBps) < l.BandwidthBps {
+		t.Fatal("default link favors uncompressed for typical layers (unexpected)")
+	}
+}

@@ -1,0 +1,112 @@
+package registry
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/blobstore"
+	"repro/internal/manifest"
+)
+
+// benchRegistry builds a registry with n single-layer images of layerSize
+// bytes each.
+func benchRegistry(b *testing.B, n int, layerSize int) (*httptest.Server, []string) {
+	b.Helper()
+	reg := New(blobstore.NewMemory())
+	rng := rand.New(rand.NewSource(1))
+	repos := make([]string, n)
+	config := []byte(`{"architecture":"amd64","os":"linux"}`)
+	configDg, err := reg.PushBlob(config)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		layer := make([]byte, layerSize)
+		rng.Read(layer)
+		layerDg, err := reg.PushBlob(layer)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := manifest.New(
+			manifest.Descriptor{MediaType: manifest.MediaTypeConfig, Size: int64(len(config)), Digest: configDg},
+			[]manifest.Descriptor{{MediaType: manifest.MediaTypeLayer, Size: int64(layerSize), Digest: layerDg}},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := "bench/app" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		reg.CreateRepo(name, false)
+		if _, err := reg.PushManifest(name, "latest", m); err != nil {
+			b.Fatal(err)
+		}
+		repos[i] = name
+	}
+	srv := httptest.NewServer(reg)
+	b.Cleanup(srv.Close)
+	return srv, repos
+}
+
+// BenchmarkHTTPPull measures full image pulls (manifest + layer, verified)
+// through the HTTP stack with parallel clients.
+func BenchmarkHTTPPull(b *testing.B) {
+	const layerSize = 64 << 10
+	srv, repos := benchRegistry(b, 64, layerSize)
+	b.SetBytes(layerSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := &Client{Base: srv.URL, HTTP: srv.Client()}
+		i := 0
+		for pb.Next() {
+			repo := repos[i%len(repos)]
+			i++
+			m, _, err := c.Manifest(repo, "latest")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.BlobVerified(repo, m.Layers[0].Digest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHTTPManifestOnly isolates the manifest path (the hot request in
+// real registry traces).
+func BenchmarkHTTPManifestOnly(b *testing.B) {
+	srv, repos := benchRegistry(b, 64, 1<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c := &Client{Base: srv.URL, HTTP: srv.Client()}
+		i := 0
+		for pb.Next() {
+			if _, _, err := c.Manifest(repos[i%len(repos)], "latest"); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkHTTPPush measures monolithic blob uploads through the stack.
+func BenchmarkHTTPPush(b *testing.B) {
+	reg := New(blobstore.NewMemory())
+	reg.CreateRepo("bench/push", false)
+	srv := httptest.NewServer(reg)
+	b.Cleanup(srv.Close)
+	c := &Client{Base: srv.URL, HTTP: srv.Client()}
+	content := make([]byte, 64<<10)
+	b.SetBytes(int64(len(content)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		content[0] = byte(i)
+		content[1] = byte(i >> 8)
+		content[2] = byte(i >> 16)
+		if _, err := c.PushBlob("bench/push", content); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

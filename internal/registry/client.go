@@ -1,0 +1,226 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/digest"
+	"repro/internal/manifest"
+)
+
+// Client errors distinguish the paper's two download-failure modes.
+var (
+	// ErrUnauthorized corresponds to the 13% of failures that "required
+	// authentication" (§III-B).
+	ErrUnauthorized = errors.New("registry client: authentication required")
+	// ErrNotFound covers missing repositories, tags ("did not have a
+	// latest tag") and blobs.
+	ErrNotFound = errors.New("registry client: not found")
+)
+
+// Client talks to a registry over HTTP.
+type Client struct {
+	// Base is the registry root, e.g. "http://127.0.0.1:5000".
+	Base string
+	// HTTP is the underlying client; http.DefaultClient if nil.
+	HTTP *http.Client
+	// Token, when set, is sent as a bearer token.
+	Token string
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(path string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("registry client: building request: %w", err)
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("registry client: %s: %w", path, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp, nil
+	case http.StatusUnauthorized:
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: %s", ErrUnauthorized, path)
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	default:
+		resp.Body.Close()
+		return nil, fmt.Errorf("registry client: %s: unexpected status %d", path, resp.StatusCode)
+	}
+}
+
+// Ping checks the /v2/ endpoint.
+func (c *Client) Ping() error {
+	resp, err := c.get("/v2/")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Tags lists the tags of a repository.
+func (c *Client) Tags(name string) ([]string, error) {
+	resp, err := c.get("/v2/" + name + "/tags/list")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Name string   `json:"name"`
+		Tags []string `json:"tags"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("registry client: decoding tags: %w", err)
+	}
+	return body.Tags, nil
+}
+
+// Catalog enumerates every repository via the /v2/_catalog endpoint,
+// paging with the n/last scheme. Docker Hub did not expose this API at the
+// paper's crawl time — it is the modern alternative to the search scrape.
+func (c *Client) Catalog(pageSize int) ([]string, error) {
+	if pageSize <= 0 {
+		pageSize = 100
+	}
+	var all []string
+	last := ""
+	for {
+		url := fmt.Sprintf("%s/v2/_catalog?n=%d", c.Base, pageSize)
+		if last != "" {
+			url += "&last=" + last
+		}
+		resp, err := c.get(strings.TrimPrefix(url, c.Base))
+		if err != nil {
+			return nil, err
+		}
+		var body struct {
+			Repositories []string `json:"repositories"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("registry client: decoding catalog: %w", err)
+		}
+		if len(body.Repositories) == 0 {
+			return all, nil
+		}
+		all = append(all, body.Repositories...)
+		last = body.Repositories[len(body.Repositories)-1]
+		if len(body.Repositories) < pageSize {
+			return all, nil
+		}
+	}
+}
+
+// Manifest fetches and validates a manifest by tag or digest, returning it
+// together with its content digest (from the Docker-Content-Digest header,
+// verified against the body).
+func (c *Client) Manifest(name, ref string) (*manifest.Manifest, digest.Digest, error) {
+	resp, err := c.get("/v2/" + name + "/manifests/" + url.PathEscape(ref))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", fmt.Errorf("registry client: reading manifest: %w", err)
+	}
+	m, err := manifest.Unmarshal(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	d := digest.FromBytes(raw)
+	if hdr := resp.Header.Get("Docker-Content-Digest"); hdr != "" && hdr != d.String() {
+		return nil, "", fmt.Errorf("registry client: manifest digest mismatch: header %s, body %s", hdr, d)
+	}
+	return m, d, nil
+}
+
+// Blob streams a blob; the caller must Close the reader. Content is not
+// verified here — use BlobVerified when integrity matters.
+func (c *Client) Blob(name string, d digest.Digest) (io.ReadCloser, int64, error) {
+	resp, err := c.get("/v2/" + name + "/blobs/" + d.String())
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Body, resp.ContentLength, nil
+}
+
+// BlobRange streams a blob starting at offset via an HTTP Range request —
+// the resume path for interrupted layer pulls. If the server ignores the
+// range (plain 200), the offset is skipped client-side so the caller
+// always reads from the requested position.
+func (c *Client) BlobRange(name string, d digest.Digest, offset int64) (io.ReadCloser, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v2/"+name+"/blobs/"+d.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("registry client: building range request: %w", err)
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if offset > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", offset))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("registry client: range request: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusPartialContent:
+		return resp.Body, nil
+	case http.StatusOK:
+		if offset > 0 {
+			if _, err := io.CopyN(io.Discard, resp.Body, offset); err != nil {
+				resp.Body.Close()
+				return nil, fmt.Errorf("registry client: skipping to offset: %w", err)
+			}
+		}
+		return resp.Body, nil
+	case http.StatusUnauthorized:
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: %s", ErrUnauthorized, name)
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: blob %s", ErrNotFound, d.Short())
+	default:
+		resp.Body.Close()
+		return nil, fmt.Errorf("registry client: range status %d", resp.StatusCode)
+	}
+}
+
+// BlobVerified downloads a blob fully and verifies its digest, the way the
+// Docker client checks layer integrity after a pull.
+func (c *Client) BlobVerified(name string, d digest.Digest) ([]byte, error) {
+	rc, _, err := c.Blob(name, d)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	content, err := io.ReadAll(rc)
+	if err != nil {
+		return nil, fmt.Errorf("registry client: reading blob: %w", err)
+	}
+	if got := digest.FromBytes(content); got != d {
+		return nil, fmt.Errorf("registry client: blob %s arrived as %s", d.Short(), got.Short())
+	}
+	return content, nil
+}

@@ -1,0 +1,264 @@
+package registry
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+	"repro/internal/manifest"
+)
+
+// pushTestSetup returns a registry with one public and one private repo
+// and no content.
+func pushTestSetup(t *testing.T) (*Registry, *Client, *Client) {
+	t.Helper()
+	reg := New(blobstore.NewMemory())
+	reg.CreateRepo("alice/app", false)
+	reg.CreateRepo("bob/secret", true)
+	srv := httptest.NewServer(reg)
+	t.Cleanup(srv.Close)
+	return reg, &Client{Base: srv.URL}, &Client{Base: srv.URL, Token: "tok"}
+}
+
+// pushImage pushes a one-layer image and returns its pieces.
+func pushImage(t *testing.T, c *Client, repo, tag string) (layer []byte, m *manifest.Manifest) {
+	t.Helper()
+	layer = []byte("layer content for " + repo + ":" + tag)
+	layerDg, err := c.PushBlob(repo, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	config := []byte(`{"architecture":"amd64","os":"linux"}`)
+	configDg, err := c.PushBlob(repo, config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = manifest.New(
+		manifest.Descriptor{MediaType: manifest.MediaTypeConfig, Size: int64(len(config)), Digest: configDg},
+		[]manifest.Descriptor{{MediaType: manifest.MediaTypeLayer, Size: int64(len(layer)), Digest: layerDg}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushManifest(repo, tag, m); err != nil {
+		t.Fatal(err)
+	}
+	return layer, m
+}
+
+func TestPushThenPullRoundTrip(t *testing.T) {
+	reg, c, _ := pushTestSetup(t)
+	layer, m := pushImage(t, c, "alice/app", "latest")
+
+	got, gotDigest, err := c.Manifest("alice/app", "latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest, _ := m.Digest()
+	if gotDigest != wantDigest {
+		t.Fatalf("pulled manifest digest %s, pushed %s", gotDigest.Short(), wantDigest.Short())
+	}
+	content, err := c.BlobVerified("alice/app", got.Layers[0].Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(content) != string(layer) {
+		t.Fatal("layer bytes changed in push/pull round trip")
+	}
+	st := reg.Stats()
+	if st.BlobPushes != 2 || st.ManifestPushes != 1 {
+		t.Fatalf("push counters: %+v", st)
+	}
+}
+
+func TestPushManifestRequiresBlobs(t *testing.T) {
+	_, c, _ := pushTestSetup(t)
+	m, err := manifest.New(
+		manifest.Descriptor{MediaType: manifest.MediaTypeConfig, Size: 4, Digest: digest.FromString("missing config")},
+		[]manifest.Descriptor{{MediaType: manifest.MediaTypeLayer, Size: 4, Digest: digest.FromString("missing layer")}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushManifest("alice/app", "latest", m); err == nil {
+		t.Fatal("manifest with missing blobs accepted")
+	}
+}
+
+func TestPushToPrivateRepoRequiresAuth(t *testing.T) {
+	_, anon, authed := pushTestSetup(t)
+	if _, err := anon.PushBlob("bob/secret", []byte("data")); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("anonymous push = %v, want ErrUnauthorized", err)
+	}
+	if _, err := authed.PushBlob("bob/secret", []byte("data")); err != nil {
+		t.Fatalf("authorized push failed: %v", err)
+	}
+}
+
+func TestPushToUnknownRepo(t *testing.T) {
+	_, c, _ := pushTestSetup(t)
+	if _, err := c.PushBlob("ghost/repo", []byte("data")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("push to unknown repo = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUploadRejectsBadDigest(t *testing.T) {
+	_, c, _ := pushTestSetup(t)
+	// Hand-roll a request with a mismatching digest parameter.
+	wrong := digest.FromString("something else")
+	u := c.Base + "/v2/alice/app/blobs/uploads/?digest=" + wrong.String()
+	resp, err := http.Post(u, "application/octet-stream", strings.NewReader("actual content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched digest upload status %d, want 400", resp.StatusCode)
+	}
+	// And one with no digest at all.
+	resp, err = http.Post(c.Base+"/v2/alice/app/blobs/uploads/", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("digestless upload status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRetagMovesTag(t *testing.T) {
+	_, c, _ := pushTestSetup(t)
+	_, m1 := pushImage(t, c, "alice/app", "latest")
+	layer2 := []byte("version two layer")
+	l2, err := c.PushBlob("alice/app", layer2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := manifest.New(m1.Config, []manifest.Descriptor{
+		{MediaType: manifest.MediaTypeLayer, Size: int64(len(layer2)), Digest: l2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushManifest("alice/app", "latest", m2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Manifest("alice/app", "latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Layers[0].Digest != l2 {
+		t.Fatal("latest tag did not move to the new manifest")
+	}
+}
+
+func TestGCRemovesUnreferencedBlobs(t *testing.T) {
+	reg, c, _ := pushTestSetup(t)
+	_, m1 := pushImage(t, c, "alice/app", "latest")
+	before := reg.Blobs().Len()
+
+	// Push a second version over the same tag: v1's manifest and layer
+	// become garbage (config is shared).
+	layer2 := []byte("version two layer bytes")
+	l2, _ := c.PushBlob("alice/app", layer2)
+	m2, _ := manifest.New(m1.Config, []manifest.Descriptor{
+		{MediaType: manifest.MediaTypeLayer, Size: int64(len(layer2)), Digest: l2},
+	})
+	if _, err := c.PushManifest("alice/app", "latest", m2); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, freed, err := reg.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 { // old manifest + old layer
+		t.Fatalf("GC removed %d blobs, want 2 (before=%d)", removed, before)
+	}
+	if freed <= 0 {
+		t.Fatalf("GC freed %d bytes", freed)
+	}
+	// The live image still pulls.
+	if _, _, err := c.Manifest("alice/app", "latest"); err != nil {
+		t.Fatalf("live manifest gone after GC: %v", err)
+	}
+	if _, err := c.BlobVerified("alice/app", l2); err != nil {
+		t.Fatalf("live layer gone after GC: %v", err)
+	}
+	// Old layer is gone.
+	if _, err := c.BlobVerified("alice/app", m1.Layers[0].Digest); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("garbage layer still served: %v", err)
+	}
+}
+
+func TestCatalogPagination(t *testing.T) {
+	reg := New(blobstore.NewMemory())
+	want := []string{}
+	for i := 0; i < 23; i++ {
+		name := "cat/repo" + string(rune('a'+i))
+		reg.CreateRepo(name, false)
+		want = append(want, name)
+	}
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+
+	got, err := c.Catalog(7) // forces 4 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("catalog returned %d repos, want %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("catalog not sorted")
+		}
+	}
+}
+
+func TestCatalogBadParams(t *testing.T) {
+	reg := New(blobstore.NewMemory())
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+	for _, q := range []string{"n=0", "n=abc", "n=99999"} {
+		resp, err := http.Get(srv.URL + "/v2/_catalog?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("catalog?%s status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestCatalogEmpty(t *testing.T) {
+	reg := New(blobstore.NewMemory())
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+	c := &Client{Base: srv.URL}
+	got, err := c.Catalog(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty registry catalog: %v", got)
+	}
+}
+
+func TestGCKeepsEverythingWhenAllTagged(t *testing.T) {
+	reg, c, _ := pushTestSetup(t)
+	pushImage(t, c, "alice/app", "latest")
+	removed, _, err := reg.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 {
+		t.Fatalf("GC removed %d blobs from a fully referenced store", removed)
+	}
+}

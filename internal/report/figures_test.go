@@ -1,0 +1,182 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/crawler"
+	"repro/internal/downloader"
+	"repro/internal/synth"
+)
+
+var cachedSource *Source
+
+func testSource(t *testing.T) *Source {
+	t.Helper()
+	if cachedSource != nil {
+		return cachedSource
+	}
+	d, err := synth.Generate(synth.DefaultSpec(0.0002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analyzer.AnalyzeModel(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedSource = &Source{
+		Analysis: res,
+		Repos:    synth.Repositories(d),
+		Growth: []GrowthPoint{
+			{Layers: 10, Files: 100, CountRatio: 2, CapacityRatio: 1.5},
+			{Layers: 100, Files: 1000, CountRatio: 5, CapacityRatio: 3},
+		},
+	}
+	return cachedSource
+}
+
+func TestAllFiguresBuildAndRender(t *testing.T) {
+	src := testSource(t)
+	figs := All(src)
+	if len(figs) < 26 {
+		t.Fatalf("All built %d figures, want >= 26 (model mode)", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Errorf("duplicate figure id %s", f.ID)
+		}
+		seen[f.ID] = true
+		if f.Title == "" {
+			t.Errorf("%s: empty title", f.ID)
+		}
+		if len(f.Metrics) == 0 {
+			t.Errorf("%s: no metrics", f.ID)
+		}
+		for _, m := range f.Metrics {
+			if m.Name == "" {
+				t.Errorf("%s: metric with empty name", f.ID)
+			}
+		}
+		if s := f.String(); len(s) < 20 {
+			t.Errorf("%s: suspiciously short render", f.ID)
+		}
+	}
+}
+
+func TestMethodologyRequiresWireResults(t *testing.T) {
+	src := testSource(t)
+	if _, ok := Methodology(src); ok {
+		t.Fatal("Methodology built without crawl/download results")
+	}
+	src2 := *src
+	src2.Crawl = &crawler.Result{RawEntries: 130, Repos: make([]string, 100), Officials: 5}
+	src2.Download = &downloader.Stats{Attempted: 100, Downloaded: 76,
+		AuthFailures: 3, NoLatest: 20, OtherFailures: 1}
+	fig, ok := Methodology(&src2)
+	if !ok {
+		t.Fatal("Methodology did not build with wire results")
+	}
+	if !strings.Contains(fig.Body, "130 raw entries") {
+		t.Fatalf("methodology body: %s", fig.Body)
+	}
+	// auth share = 3/24.
+	for _, m := range fig.Metrics {
+		if m.Name == "auth share of failures" {
+			if got := m.Measured; got < 0.12 || got > 0.13 {
+				t.Errorf("auth share = %v, want 3/24", got)
+			}
+		}
+	}
+}
+
+func TestFig25RequiresGrowth(t *testing.T) {
+	src := *testSource(t)
+	src.Growth = nil
+	if _, ok := Fig25(&src); ok {
+		t.Fatal("Fig25 built without growth samples")
+	}
+}
+
+func TestFig8RequiresRepos(t *testing.T) {
+	src := *testSource(t)
+	src.Repos = nil
+	if _, ok := Fig8(&src); ok {
+		t.Fatal("Fig8 built without repos")
+	}
+}
+
+func TestFig23SharingRatio(t *testing.T) {
+	src := testSource(t)
+	fig, ok := Fig23(src)
+	if !ok {
+		t.Fatal("Fig23 did not build")
+	}
+	var ratio float64
+	for _, m := range fig.Metrics {
+		if m.Name == "layer-sharing dedup ratio" {
+			ratio = m.Measured
+		}
+	}
+	if ratio < 1 {
+		t.Fatalf("sharing ratio %v < 1 (impossible: every layer referenced >= once)", ratio)
+	}
+}
+
+func TestFig24EmptyFileFinding(t *testing.T) {
+	src := testSource(t)
+	fig, _ := Fig24(src)
+	for _, m := range fig.Metrics {
+		if m.Name == "max repeat is an empty file" && m.Measured != 1 {
+			t.Fatal("max-repeat file is not empty in the synthetic dataset")
+		}
+	}
+}
+
+func TestScoreboard(t *testing.T) {
+	figs := []Figure{
+		{ID: "a", Metrics: []Metric{
+			{Name: "good", Paper: 100, Measured: 110},
+			{Name: "bad", Paper: 100, Measured: 400},
+			{Name: "scaled", Paper: 100, Measured: 5, ShapeOnly: true},
+		}},
+	}
+	rows, passed, graded := Scoreboard(figs, 0.35)
+	if graded != 2 || passed != 1 {
+		t.Fatalf("passed/graded = %d/%d, want 1/2", passed, graded)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Worst graded metric first.
+	if rows[0].Metric != "bad" || rows[0].Pass {
+		t.Fatalf("first row: %+v", rows[0])
+	}
+	out := RenderScoreboard(figs, 0.35)
+	if !strings.Contains(out, "1/2") || !strings.Contains(out, "MISS") {
+		t.Fatalf("rendered scoreboard:\n%s", out)
+	}
+}
+
+func TestScoreboardOnRealRun(t *testing.T) {
+	src := testSource(t)
+	figs := All(src)
+	_, passed, graded := Scoreboard(figs, 0.35)
+	if graded == 0 {
+		t.Fatal("nothing graded")
+	}
+	// Even at the tiny test scale, most metrics should land in band.
+	if float64(passed)/float64(graded) < 0.6 {
+		t.Fatalf("only %d/%d metrics within 35%% at test scale", passed, graded)
+	}
+}
+
+func TestFiguresConsistentAcrossCalls(t *testing.T) {
+	src := testSource(t)
+	a, _ := Fig5(src)
+	b, _ := Fig5(src)
+	if a.String() != b.String() {
+		t.Fatal("Fig5 not deterministic for same source")
+	}
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// PlotCDF renders an ASCII CDF curve — the terminal rendition of the
+// paper's figure panels. The x axis is logarithmic when the sample spans
+// more than two decades (like every size distribution in the paper) and
+// linear otherwise; the y axis is the cumulative fraction 0..1.
+func PlotCDF(c *stats.CDF, title, unit string, width, height int) string {
+	if c.N() == 0 {
+		return fmt.Sprintf("  %s: (no samples)\n", title)
+	}
+	if width < 16 {
+		width = 60
+	}
+	if height < 4 {
+		height = 12
+	}
+
+	minX, maxX := c.Min(), c.Max()
+	logScale := minX > 0 && maxX/math.Max(minX, 1e-12) > 100
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	// x position of a value in [0, width).
+	xpos := func(v float64) int {
+		var f float64
+		if logScale {
+			f = (math.Log(v) - math.Log(minX)) / (math.Log(maxX) - math.Log(minX))
+		} else {
+			f = (v - minX) / (maxX - minX)
+		}
+		i := int(f * float64(width-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= width {
+			i = width - 1
+		}
+		return i
+	}
+
+	// For every column, the CDF value at the column's upper x.
+	colY := make([]float64, width)
+	for i := 0; i < width; i++ {
+		var v float64
+		f := float64(i) / float64(width-1)
+		if logScale {
+			v = math.Exp(math.Log(minX) + f*(math.Log(maxX)-math.Log(minX)))
+		} else {
+			v = minX + f*(maxX-minX)
+		}
+		colY[i] = c.FractionBelow(v)
+	}
+	_ = xpos
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, y := range colY {
+		row := int((1 - y) * float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][i] = '*'
+	}
+
+	var b strings.Builder
+	scale := "linear"
+	if logScale {
+		scale = "log"
+	}
+	fmt.Fprintf(&b, "  %s (n=%d, %s x-axis)\n", title, c.N(), scale)
+	for r, row := range grid {
+		label := "    "
+		switch r {
+		case 0:
+			label = "1.0 "
+		case (height - 1) / 2:
+			label = "0.5 "
+		case height - 1:
+			label = "0.0 "
+		}
+		fmt.Fprintf(&b, "  %s|%s\n", label, string(row))
+	}
+	lo, hi := formatVal(minX, unit), formatVal(maxX, unit)
+	pad := width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "      %s%s%s\n", lo, strings.Repeat(" ", pad), hi)
+	return b.String()
+}

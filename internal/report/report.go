@@ -1,0 +1,159 @@
+// Package report renders every table and figure of the paper's evaluation
+// from an analysis result, pairing each with the paper's reported numbers
+// so runs can be compared side by side (EXPERIMENTS.md is generated from
+// these).
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analyzer"
+	"repro/internal/crawler"
+	"repro/internal/downloader"
+	"repro/internal/manifest"
+	"repro/internal/stats"
+)
+
+// Metric is one paper-vs-measured comparison row.
+type Metric struct {
+	Name     string
+	Paper    float64
+	Measured float64
+	// Unit formats the values: "" plain, "B" bytes, "%" percentage
+	// (values in 0..1), "x" ratio.
+	Unit string
+	// ShapeOnly marks metrics whose absolute value scales with dataset
+	// size (maxima, totals); only the qualitative shape is comparable.
+	ShapeOnly bool
+}
+
+// Format renders the metric's values.
+func (m Metric) Format() string {
+	return fmt.Sprintf("%-44s paper=%-12s measured=%-12s", m.Name,
+		formatVal(m.Paper, m.Unit), formatVal(m.Measured, m.Unit))
+}
+
+// FormatValue renders a metric value in the given unit ("B" bytes, "%"
+// fraction as percentage, "x" ratio, "" plain).
+func FormatValue(v float64, unit string) string {
+	switch unit {
+	case "B":
+		return FormatBytes(v)
+	case "%":
+		return fmt.Sprintf("%.1f%%", v*100)
+	case "x":
+		return fmt.Sprintf("%.2fx", v)
+	default:
+		if v == float64(int64(v)) && v < 1e15 {
+			return fmt.Sprintf("%d", int64(v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// formatVal is the internal shorthand.
+func formatVal(v float64, unit string) string { return FormatValue(v, unit) }
+
+// FormatBytes renders a byte count with a binary-prefix unit.
+func FormatBytes(v float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB", "PiB"}
+	i := 0
+	for v >= 1024 && i < len(units)-1 {
+		v /= 1024
+		i++
+	}
+	if i == 0 {
+		return fmt.Sprintf("%.0f%s", v, units[i])
+	}
+	return fmt.Sprintf("%.2f%s", v, units[i])
+}
+
+// Figure is one rendered artifact.
+type Figure struct {
+	ID      string
+	Title   string
+	Body    string
+	Metrics []Metric
+}
+
+// String renders the figure as text.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", f.ID, f.Title)
+	if f.Body != "" {
+		b.WriteString(f.Body)
+		if !strings.HasSuffix(f.Body, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	for _, m := range f.Metrics {
+		b.WriteString("  " + m.Format() + "\n")
+	}
+	return b.String()
+}
+
+// GrowthPoint is one sample of the Fig. 25 dedup-growth curve.
+type GrowthPoint struct {
+	Layers        int
+	Files         int64
+	CountRatio    float64
+	CapacityRatio float64
+}
+
+// Source bundles everything the figure builders read.
+type Source struct {
+	Analysis *analyzer.Result
+	Repos    []manifest.Repository
+	// Growth holds Fig. 25 samples (computed by core.DedupGrowth).
+	Growth []GrowthPoint
+	// Crawl and Download carry the §III methodology numbers when the
+	// study ran the wire pipeline; nil in pure model mode.
+	Crawl    *crawler.Result
+	Download *downloader.Stats
+}
+
+// renderCDF prints a compact CDF table: selected percentiles plus min/max.
+func renderCDF(c *stats.CDF, label string, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s (n=%d):\n", label, c.N())
+	fmt.Fprintf(&b, "    min=%s p10=%s p25=%s p50=%s p75=%s p90=%s p99=%s max=%s\n",
+		formatVal(c.Min(), unit), formatVal(c.P(10), unit), formatVal(c.P(25), unit),
+		formatVal(c.Median(), unit), formatVal(c.P(75), unit), formatVal(c.P(90), unit),
+		formatVal(c.P(99), unit), formatVal(c.Max(), unit))
+	return b.String()
+}
+
+// renderHist prints histogram buckets with proportional bars.
+func renderHist(h *stats.Histogram, label, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s (n=%d):\n", label, h.Total())
+	var maxCount int64 = 1
+	for _, bk := range h.Buckets() {
+		if bk.Count > maxCount {
+			maxCount = bk.Count
+		}
+	}
+	for _, bk := range h.Buckets() {
+		bar := strings.Repeat("#", int(40*bk.Count/maxCount))
+		fmt.Fprintf(&b, "    <=%-10s %10d %s\n", formatVal(bk.High, unit), bk.Count, bar)
+	}
+	if h.Overflow() > 0 {
+		fmt.Fprintf(&b, "    >%-11s %10d\n", formatVal(h.Buckets()[len(h.Buckets())-1].High, unit), h.Overflow())
+	}
+	return b.String()
+}
+
+// renderShares prints a share table.
+func renderShares(t *stats.ShareTable, label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %s:\n", label)
+	fmt.Fprintf(&b, "    %-28s %12s %8s %12s %8s %12s\n",
+		"category", "count", "count%", "capacity", "cap%", "mean size")
+	for _, r := range t.Rows() {
+		fmt.Fprintf(&b, "    %-28s %12d %7.1f%% %12s %7.1f%% %12s\n",
+			r.Category, r.Count, r.CountShare*100, FormatBytes(r.Capacity),
+			r.CapacityShare*100, FormatBytes(r.MeanSize))
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ScoreRow grades one metric of one figure against the paper.
+type ScoreRow struct {
+	FigID     string
+	Metric    string
+	RelErr    float64
+	Pass      bool
+	ShapeOnly bool
+}
+
+// Scoreboard grades every metric of every figure: a metric passes when its
+// measured value is within tolerance (relative) of the paper's. ShapeOnly
+// metrics (scale-dependent maxima and dedup ratios) are listed but not
+// graded. Returns the rows (worst first) and the pass counts over graded
+// metrics.
+func Scoreboard(figs []Figure, tolerance float64) (rows []ScoreRow, passed, graded int) {
+	for _, f := range figs {
+		for _, m := range f.Metrics {
+			row := ScoreRow{FigID: f.ID, Metric: m.Name, ShapeOnly: m.ShapeOnly}
+			denom := math.Abs(m.Paper)
+			if denom < 1e-12 {
+				denom = 1
+			}
+			row.RelErr = math.Abs(m.Measured-m.Paper) / denom
+			if !m.ShapeOnly {
+				graded++
+				row.Pass = row.RelErr <= tolerance
+				if row.Pass {
+					passed++
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ShapeOnly != rows[j].ShapeOnly {
+			return !rows[i].ShapeOnly
+		}
+		return rows[i].RelErr > rows[j].RelErr
+	})
+	return rows, passed, graded
+}
+
+// RenderScoreboard prints the grading summary plus the worst offenders.
+func RenderScoreboard(figs []Figure, tolerance float64) string {
+	rows, passed, graded := Scoreboard(figs, tolerance)
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== scoreboard: %d/%d graded metrics within %.0f%% of the paper ===\n",
+		passed, graded, tolerance*100)
+	shown := 0
+	for _, r := range rows {
+		if r.ShapeOnly || r.Pass {
+			continue
+		}
+		fmt.Fprintf(&b, "  MISS %-6s %-44s off by %.0f%%\n", r.FigID, r.Metric, r.RelErr*100)
+		shown++
+		if shown >= 12 {
+			fmt.Fprintf(&b, "  … and %d more\n", graded-passed-shown)
+			break
+		}
+	}
+	if shown == 0 {
+		b.WriteString("  every graded metric within tolerance\n")
+	}
+	return b.String()
+}

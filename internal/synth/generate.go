@@ -1,0 +1,699 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/filetype"
+)
+
+// RNG stream identifiers, one per independent generator stage.
+const (
+	streamRepos = iota + 1
+	streamLayerCounts
+	streamSharing
+	streamFileCounts
+	streamUniverse
+	streamShuffle
+	streamDirs
+	streamCompression
+	streamPulls
+)
+
+// maxInstances bounds the file-instance array; beyond this the model would
+// not fit in memory and the caller should lower Scale (or switch to
+// sampled analysis).
+const maxInstances = 200_000_000
+
+// Generate builds the complete synthetic Hub dataset for the spec. The
+// result is deterministic in spec.Seed and structurally validated.
+func Generate(spec Spec) (*Dataset, error) {
+	if spec.Scale <= 0 {
+		return nil, errors.New("synth: Scale must be positive")
+	}
+	if len(spec.TypeMix) == 0 {
+		return nil, errors.New("synth: empty TypeMix")
+	}
+	d := &Dataset{Spec: spec}
+	counts := spec.Counts()
+	genRepos(d, counts)
+	if err := genImagesAndLayers(d, counts); err != nil {
+		return nil, err
+	}
+	if err := genLayerContents(d); err != nil {
+		return nil, err
+	}
+	genPulls(d)
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("generated dataset failed validation: %w", err)
+	}
+	return d, nil
+}
+
+// officialNames seeds the official repository list; TopPulls names come
+// first so pull-count pinning lines up.
+var officialBaseNames = []string{
+	"alpine", "debian", "busybox", "postgres", "node", "httpd", "mysql",
+	"mongo", "golang", "python", "java", "php", "memcached", "wordpress",
+	"centos", "rabbitmq", "haproxy", "tomcat", "jenkins", "elasticsearch",
+}
+
+func genRepos(d *Dataset, counts Counts) {
+	rng := dist.SplitRNG(d.Spec.Seed, streamRepos)
+	nOfficial := int(float64(counts.Repos)*d.Spec.OfficialFrac + 0.5)
+	if nOfficial < len(d.Spec.TopPulls) {
+		nOfficial = len(d.Spec.TopPulls)
+	}
+	if nOfficial > counts.Repos {
+		nOfficial = counts.Repos
+	}
+	d.Repos = make([]Repo, 0, counts.Repos)
+	for i := 0; i < nOfficial; i++ {
+		var name string
+		switch {
+		case i < len(d.Spec.TopPulls):
+			name = d.Spec.TopPulls[i].Name
+		case i-len(d.Spec.TopPulls) < len(officialBaseNames):
+			name = officialBaseNames[i-len(d.Spec.TopPulls)]
+		default:
+			name = fmt.Sprintf("official-%03d", i)
+		}
+		d.Repos = append(d.Repos, Repo{Name: name, Official: true, HasLatest: true, Image: -1})
+	}
+	for i := nOfficial; i < counts.Repos; i++ {
+		name := fmt.Sprintf("user%05d/app%04d", rng.Intn(counts.Repos), i)
+		d.Repos = append(d.Repos, Repo{Name: name, HasLatest: true, Image: -1})
+	}
+	// Spread download failures over non-official repositories: first the
+	// auth-gated ones, then the ones without a latest tag.
+	nonOfficial := rng.Perm(counts.Repos - nOfficial)
+	failed := counts.ImagesFailed
+	if failed > len(nonOfficial) {
+		failed = len(nonOfficial)
+	}
+	for j := 0; j < failed; j++ {
+		r := &d.Repos[nOfficial+nonOfficial[j]]
+		if j < counts.AuthFailures {
+			r.Private = true
+		} else {
+			r.HasLatest = false
+		}
+	}
+}
+
+// layerCountSampler draws per-image layer counts matching Fig. 10: point
+// masses at 1 (single-layer images) and the mode 8, log-normal body with
+// p90 = 18, hard max 120.
+func layerCountSampler(spec Spec) func(*rand.Rand) int {
+	body := dist.Clamped{
+		Inner: dist.FitLogNormal(float64(spec.LayerCountMode), float64(spec.LayerCountP90)),
+		Min:   1,
+		Max:   float64(spec.LayerCountMax),
+	}
+	m := dist.NewMixture(
+		[]dist.PointMass{
+			{Value: 1, Weight: spec.SingleLayerImageFrac},
+			{Value: float64(spec.LayerCountMode), Weight: 0.10},
+		},
+		1-spec.SingleLayerImageFrac-0.10,
+		body,
+	)
+	return func(rng *rand.Rand) int {
+		k := int(math.Round(m.Sample(rng)))
+		if k < 1 {
+			k = 1
+		}
+		if k > spec.LayerCountMax {
+			k = spec.LayerCountMax
+		}
+		return k
+	}
+}
+
+func genImagesAndLayers(d *Dataset, counts Counts) error {
+	spec := d.Spec
+	rng := dist.SplitRNG(spec.Seed, streamLayerCounts)
+
+	// One image per downloadable repository, each with a size class that
+	// its exclusive layers will inherit.
+	type imgInfo struct {
+		repo  int32
+		k     int
+		class uint8
+	}
+	var images []imgInfo
+	drawK := layerCountSampler(spec)
+	drawClass := func() uint8 {
+		u := rng.Float64()
+		switch {
+		case u < spec.ImageClassSmallFrac:
+			return classSmall
+		case u < spec.ImageClassSmallFrac+spec.ImageClassLargeFrac:
+			return classLarge
+		default:
+			return classMedium
+		}
+	}
+	for i := range d.Repos {
+		if !d.Repos[i].Downloadable() {
+			continue
+		}
+		images = append(images, imgInfo{repo: int32(i), k: drawK(rng), class: drawClass()})
+	}
+	nImages := len(images)
+	if nImages == 0 {
+		return errors.New("synth: no downloadable repositories at this scale")
+	}
+
+	// Slot multisets per image class: image index repeated by its layer
+	// count. Keeping the pools separate lets big shared layers land in
+	// big images (the paper's Ubuntu-base case) without inflating small
+	// images' sizes.
+	shRng := dist.SplitRNG(spec.Seed, streamSharing)
+	var totalSlots int
+	var pools [3][]int32
+	for idx, im := range images {
+		totalSlots += im.k
+		for j := 0; j < im.k; j++ {
+			pools[im.class] = append(pools[im.class], int32(idx))
+		}
+	}
+	for c := range pools {
+		p := pools[c]
+		shRng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	}
+
+	// Layer budget: unique layers per image ratio from the paper
+	// (1,792,609 / 355,319 ≈ 5.045).
+	targetLayers := int(float64(PaperLayers) / float64(PaperImagesDownloaded) * float64(nImages))
+	nDuo := int(spec.DuoLayerFrac * float64(targetLayers))
+	const nTop = 5 // the paper's "next 5 top-ranked layers" (§V-A)
+
+	emptyRefs := int(spec.EmptyLayerImageFrac * float64(nImages))
+	if emptyRefs < 1 {
+		emptyRefs = 1
+	}
+	if emptyRefs > nImages {
+		emptyRefs = nImages
+	}
+	topRefs := int(spec.TopSharedImageFrac * float64(nImages))
+	if topRefs < 2 {
+		topRefs = 2
+	}
+
+	// Remaining shared budget funds the Pareto reference tail. The tail
+	// layer count is emergent: layers are appended until the budget is
+	// spent, keeping the exclusive-layer remainder (and thereby the
+	// unique-layers-per-image ratio) on target.
+	tailBudget := totalSlots - int(spec.ExclusiveLayerFrac*float64(targetLayers)) -
+		2*nDuo - emptyRefs - nTop*topRefs
+
+	// Assign shared layers to image slots, preferring the pool matching
+	// the layer's size class (big shared layers go to big images). On
+	// popping a slot whose image already holds the current layer, swap in
+	// a random later slot of the same pool and retry, so slots are never
+	// wasted; a bounded number of retries keeps the pathological
+	// all-duplicates ending finite.
+	perImage := make([][]LayerID, nImages)
+	var layers []Layer
+	var classes []uint8
+	var poolIdx [3]int
+	seen := make(map[int32]bool)
+
+	popPool := func(c uint8) (int32, bool) {
+		p := pools[c]
+		for tries := 0; tries < 64 && poolIdx[c] < len(p); tries++ {
+			img := p[poolIdx[c]]
+			if !seen[img] {
+				poolIdx[c]++
+				return img, true
+			}
+			rest := len(p) - poolIdx[c] - 1
+			if rest <= 0 {
+				return 0, false
+			}
+			j := poolIdx[c] + 1 + shRng.Intn(rest)
+			p[poolIdx[c]], p[j] = p[j], p[poolIdx[c]]
+		}
+		return 0, false
+	}
+	// Pool preference per layer class: same class first, then neighbours.
+	prefs := [3][3]uint8{
+		classSmall:  {classSmall, classMedium, classLarge},
+		classMedium: {classMedium, classLarge, classSmall},
+		classLarge:  {classLarge, classMedium, classSmall},
+	}
+	pop := func(class uint8) (int32, bool) {
+		for _, c := range prefs[class] {
+			if img, ok := popPool(c); ok {
+				return img, true
+			}
+		}
+		return 0, false
+	}
+
+	assign := func(refs int, class uint8) LayerID {
+		id := LayerID(len(layers))
+		layers = append(layers, Layer{})
+		classes = append(classes, class)
+		clear(seen)
+		got := int32(0)
+		for got < int32(refs) {
+			img, ok := pop(class)
+			if !ok {
+				break
+			}
+			seen[img] = true
+			perImage[img] = append(perImage[img], id)
+			got++
+		}
+		if got == 0 {
+			// Slots exhausted before this layer got a reference; drop it
+			// rather than leave an orphan.
+			layers = layers[:id]
+			classes = classes[:id]
+			return id
+		}
+		layers[id].Refs = got
+		return id
+	}
+	sharedClass := func() uint8 {
+		if shRng.Float64() < spec.SharedLayerLargeFrac {
+			return classLarge
+		}
+		return classSmall
+	}
+
+	d.EmptyLayer = assign(emptyRefs, classSmall)
+	for i := 0; i < nTop; i++ {
+		// The paper's top-shared layers include a full Ubuntu distribution
+		// (one large layer) next to apt/dpkg/cowsay-sized ones (medium).
+		class := classMedium
+		if i == 0 {
+			class = classLarge
+		}
+		assign(topRefs, class)
+	}
+	tailDist := dist.TruncPareto{Xm: 3, Alpha: spec.SharedTailAlpha, Cap: float64(topRefs)}
+	for budget := tailBudget; budget >= 3; {
+		r := int(math.Round(tailDist.Sample(shRng)))
+		if r < 3 {
+			r = 3
+		}
+		if r > budget {
+			r = budget
+		}
+		assign(r, sharedClass())
+		budget -= r
+	}
+	for i := 0; i < nDuo; i++ {
+		assign(2, sharedClass())
+	}
+	// Every remaining slot becomes an exclusive layer of its image,
+	// inheriting the image's size class.
+	for c := range pools {
+		for _, img := range pools[c][poolIdx[c]:] {
+			id := LayerID(len(layers))
+			layers = append(layers, Layer{Refs: 1})
+			classes = append(classes, images[img].class)
+			perImage[img] = append(perImage[img], id)
+		}
+	}
+
+	// Guarantee every image has at least one layer (a tiny image may have
+	// lost its only slot to a duplicate spill).
+	for idx := range perImage {
+		if len(perImage[idx]) == 0 {
+			id := LayerID(len(layers))
+			layers = append(layers, Layer{Refs: 1})
+			classes = append(classes, images[idx].class)
+			perImage[idx] = append(perImage[idx], id)
+		}
+	}
+
+	// Flatten.
+	d.Layers = layers
+	d.layerClass = classes
+	d.Images = make([]Image, nImages)
+	var totalRefs int
+	for _, ls := range perImage {
+		totalRefs += len(ls)
+	}
+	d.layerRefs = make([]LayerID, 0, totalRefs)
+	for idx, im := range images {
+		d.Images[idx] = Image{
+			layerOff: int32(len(d.layerRefs)),
+			layerN:   int32(len(perImage[idx])),
+			Repo:     im.repo,
+		}
+		d.layerRefs = append(d.layerRefs, perImage[idx]...)
+		d.Repos[im.repo].Image = int32(idx)
+	}
+	return nil
+}
+
+// Layer/image size classes (see Spec's joint-structure comment).
+const (
+	classSmall uint8 = iota
+	classMedium
+	classLarge
+)
+
+// fileCountSampler draws files-per-layer matching Fig. 5's point masses
+// (7% empty, 27% single-file) with a class-specific body and heavy tail:
+// small-class layers are capped at SmallLayerCeiling files while medium
+// and large classes reach the paper's p90 body ceiling and Pareto tail.
+type fileCountSampler struct {
+	zeroW, oneW float64
+	body        [3]dist.LogUniform
+	tail        [3]dist.TruncPareto
+	tailP       [3]float64
+}
+
+func newFileCountSampler(spec Spec) *fileCountSampler {
+	s := &fileCountSampler{
+		zeroW: spec.EmptyLayerFrac,
+		oneW:  spec.SingleFileLayerFrac,
+		tailP: spec.ClassTailP,
+	}
+	lo := spec.FilesPerLayerBodyLo
+	smallHi := spec.SmallLayerCeiling
+	if smallHi <= lo {
+		smallHi = lo + 1
+	}
+	largeLo := 30.0
+	if largeLo >= spec.FilesPerLayerP90 {
+		largeLo = lo
+	}
+	s.body[classSmall] = dist.LogUniform{Lo: lo, Hi: smallHi}
+	s.body[classMedium] = dist.LogUniform{Lo: lo, Hi: spec.FilesPerLayerP90}
+	s.body[classLarge] = dist.LogUniform{Lo: largeLo, Hi: spec.FilesPerLayerP90}
+	s.tail[classSmall] = dist.TruncPareto{Xm: smallHi, Alpha: spec.FilesPerLayerAlpha, Cap: spec.FilesPerLayerMax}
+	s.tail[classMedium] = dist.TruncPareto{Xm: spec.FilesPerLayerP90, Alpha: spec.FilesPerLayerAlpha, Cap: spec.FilesPerLayerMax}
+	s.tail[classLarge] = dist.TruncPareto{Xm: spec.FilesPerLayerP90, Alpha: spec.FilesPerLayerAlpha, Cap: spec.FilesPerLayerMax}
+	return s
+}
+
+func (s *fileCountSampler) sample(class uint8, rng *rand.Rand) int {
+	u := rng.Float64()
+	switch {
+	case u < s.zeroW:
+		return 0
+	case u < s.zeroW+s.oneW:
+		return 1
+	}
+	if rng.Float64() < s.tailP[class] {
+		return int(math.Round(s.tail[class].Sample(rng)))
+	}
+	return int(math.Round(s.body[class].Sample(rng)))
+}
+
+func genLayerContents(d *Dataset) error {
+	spec := d.Spec
+	fcRng := dist.SplitRNG(spec.Seed, streamFileCounts)
+	fcSampler := newFileCountSampler(spec)
+
+	// Per-layer file counts; the globally shared empty layer stays empty.
+	fileCounts := make([]int, len(d.Layers))
+	var totalInstances int64
+	for i := range d.Layers {
+		if LayerID(i) == d.EmptyLayer {
+			continue
+		}
+		c := fcSampler.sample(d.layerClass[i], fcRng)
+		if c < 0 {
+			c = 0
+		}
+		fileCounts[i] = c
+		totalInstances += int64(c)
+	}
+	if totalInstances > maxInstances {
+		return fmt.Errorf("synth: %d file instances exceed the %d limit; lower Scale", totalInstances, maxInstances)
+	}
+	if totalInstances == 0 {
+		return errors.New("synth: dataset has no file instances")
+	}
+
+	if err := genUniverse(d, totalInstances); err != nil {
+		return err
+	}
+
+	// Distribute instances: each unique file contributes Repeat instances,
+	// globally shuffled, then sliced per layer.
+	shRng := dist.SplitRNG(spec.Seed, streamShuffle)
+	refs := make([]FileID, 0, totalInstances)
+	for id := range d.Files {
+		for r := int32(0); r < d.Files[id].Repeat; r++ {
+			refs = append(refs, FileID(id))
+		}
+	}
+	shRng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+	d.fileRefs = refs
+
+	var off int64
+	for i := range d.Layers {
+		n := fileCounts[i]
+		d.Layers[i].refOff = off
+		d.Layers[i].refN = int32(n)
+		var fls int64
+		for _, f := range refs[off : off+int64(n)] {
+			fls += d.Files[f].Size
+		}
+		d.Layers[i].FLS = fls
+		off += int64(n)
+	}
+
+	genDirsAndCompression(d)
+	return nil
+}
+
+// genUniverse draws unique files with repeat counts until the instance
+// budget is met. See DESIGN.md §5 for the calibration derivation.
+func genUniverse(d *Dataset, totalInstances int64) error {
+	spec := d.Spec
+	rng := dist.SplitRNG(spec.Seed, streamUniverse)
+
+	// Type selection: named mix plus one uncommon slot.
+	weights := make([]float64, len(spec.TypeMix)+1)
+	var mixSum float64
+	for i, tw := range spec.TypeMix {
+		weights[i] = tw.CountWeight
+		mixSum += tw.CountWeight
+	}
+	weights[len(spec.TypeMix)] = mixSum * spec.UncommonCountFrac / (1 - spec.UncommonCountFrac)
+	typePick := dist.NewWeighted(weights)
+	var uncommonPick *dist.Zipf
+	if spec.UncommonTypeCount > 0 {
+		uncommonPick = dist.NewZipf(int64(spec.UncommonTypeCount), spec.UncommonZipfS)
+	}
+
+	// Per-group effective tail weights, normalized so the global tail
+	// weight matches the repeat-mass complement.
+	var massSum float64
+	for _, m := range spec.RepeatMasses {
+		massSum += m.Weight
+	}
+	baseTail := 1 - massSum
+	groupShare := make(map[filetype.Group]float64)
+	for _, tw := range spec.TypeMix {
+		groupShare[tw.Type.Group()] += tw.CountWeight
+	}
+	groupShare[filetype.GroupOther] += weights[len(spec.TypeMix)]
+	var boostNorm, shareSum float64
+	for g, share := range groupShare {
+		boost := spec.GroupRepeatBoost[g]
+		if boost == 0 {
+			boost = 1
+		}
+		boostNorm += share * boost
+		shareSum += share
+	}
+	boostNorm /= shareSum
+	tailW := func(g filetype.Group) float64 {
+		boost := spec.GroupRepeatBoost[g]
+		if boost == 0 {
+			boost = 1
+		}
+		w := baseTail * boost / boostNorm
+		if w > 0.6 {
+			w = 0.6
+		}
+		return w
+	}
+
+	maxRepeat := int64(spec.MaxRepeatFrac * float64(totalInstances))
+	if maxRepeat < spec.RepeatMasses[len(spec.RepeatMasses)-1].Repeat+1 {
+		maxRepeat = spec.RepeatMasses[len(spec.RepeatMasses)-1].Repeat + 1
+	}
+	if maxRepeat > totalInstances {
+		maxRepeat = totalInstances
+	}
+	repeatTail := dist.TruncPareto{Xm: spec.RepeatTailXm, Alpha: spec.RepeatTailAlpha, Cap: float64(maxRepeat)}
+	massWeights := make([]float64, len(spec.RepeatMasses))
+	for i, m := range spec.RepeatMasses {
+		massWeights[i] = m.Weight
+	}
+	massPick := dist.NewWeighted(massWeights)
+
+	// The famous maximally repeated empty file comes first.
+	d.Files = d.Files[:0]
+	d.Files = append(d.Files, UniqueFile{Size: 0, Type: filetype.EmptyFile, Repeat: int32(maxRepeat)})
+	d.EmptyFile = 0
+	remaining := totalInstances - maxRepeat
+
+	for remaining > 0 {
+		var ft filetype.Type
+		var meanSize, sigma, tailScale, lowRepeat float64
+		tailScale = 1
+		if idx := typePick.Sample(rng); idx < len(spec.TypeMix) {
+			tw := spec.TypeMix[idx]
+			ft, meanSize, sigma = tw.Type, tw.MeanSize, tw.SizeSigma
+			if tw.TailScale > 0 {
+				tailScale = tw.TailScale
+			}
+			lowRepeat = tw.LowRepeat
+		} else {
+			ft = filetype.UncommonType(int(uncommonPick.SampleInt(rng)) - 1)
+			meanSize, sigma = spec.UncommonMeanSize, spec.UncommonSizeSigma
+		}
+		g := ft.Group()
+
+		var repeat int64
+		var tailDraw bool
+		switch {
+		case lowRepeat > 0 && rng.Float64() < lowRepeat:
+			repeat = 1
+		case rng.Float64() < tailW(g)*tailScale:
+			tailDraw = true
+			repeat = int64(math.Round(repeatTail.Sample(rng)))
+		default:
+			repeat = spec.RepeatMasses[massPick.Sample(rng)].Repeat
+		}
+		if repeat > remaining {
+			repeat = remaining
+		}
+		if repeat < 1 {
+			repeat = 1
+		}
+
+		// All empty files share one content (one digest): fold the draw
+		// into the canonical empty unique file instead of inventing a
+		// second zero-byte "unique" content.
+		if ft == filetype.EmptyFile {
+			d.Files[d.EmptyFile].Repeat += int32(repeat)
+			remaining -= repeat
+			continue
+		}
+
+		var size int64
+		if meanSize > 0 {
+			mu := math.Log(meanSize) - sigma*sigma/2
+			s := math.Exp(rng.NormFloat64()*sigma + mu)
+			if tailDraw {
+				beta := spec.GroupSizeBeta[g]
+				s *= math.Pow(spec.RepeatTailXm/float64(repeat), beta)
+			}
+			size = int64(math.Round(s))
+			// Leave room for the type's magic header plus a 16-byte
+			// uniqueness tail so materialization can render every unique
+			// file as distinct classifiable bytes.
+			if min := filetype.MinSize(ft) + 16; size < min {
+				size = min
+			}
+		}
+		d.Files = append(d.Files, UniqueFile{Size: size, Type: ft, Repeat: int32(repeat)})
+		remaining -= repeat
+	}
+	return nil
+}
+
+func genDirsAndCompression(d *Dataset) {
+	spec := d.Spec
+	dirRng := dist.SplitRNG(spec.Seed, streamDirs)
+	ratio := dist.Clamped{
+		Inner: dist.FitLogNormal(spec.DirsPerFileMedian, spec.DirsPerFileP90),
+		Min:   1, Max: 50,
+	}
+	depthPick := dist.NewWeighted(spec.DepthWeights)
+
+	compRng := dist.SplitRNG(spec.Seed, streamCompression)
+	comp := dist.Clamped{
+		Inner: dist.FitLogNormal(spec.CompressionMedian, spec.CompressionP90),
+		Min:   1, Max: spec.CompressionMax,
+	}
+
+	for i := range d.Layers {
+		l := &d.Layers[i]
+		c := int(l.refN)
+		switch {
+		case LayerID(i) == d.EmptyLayer:
+			l.DirCount, l.MaxDepth = 0, 0
+		case c == 0:
+			l.DirCount, l.MaxDepth = 1, 1
+		default:
+			// Depth is drawn from the Fig. 7 shape; the directory count
+			// must at least cover the deepest path (each ancestor is a
+			// directory entry), so small layers still reach depth 3. The
+			// files-per-directory ratio grows with layer size (Fig. 5 vs
+			// Fig. 6: large layers pack ~9 files/dir, median ones ~3).
+			depth := int32(depthPick.Sample(dirRng) + 1)
+			r := ratio.Sample(dirRng) * math.Pow(math.Max(float64(c), 30)/30, spec.DirsPerFileGamma)
+			dc := int32(math.Round(float64(c) / r))
+			if dc < depth {
+				dc = depth
+			}
+			if dc < 1 {
+				dc = 1
+			}
+			if dc > int32(spec.DirCountMax) {
+				dc = int32(spec.DirCountMax)
+			}
+			l.DirCount, l.MaxDepth = dc, depth
+		}
+
+		// Empty gzipped tar ≈ 32 bytes; everything else compresses by a
+		// per-layer ratio from the Fig. 4 distribution.
+		if l.FLS == 0 {
+			l.CLS = 32
+			continue
+		}
+		cls := int64(float64(l.FLS) / comp.Sample(compRng))
+		if cls < 32 {
+			cls = 32
+		}
+		l.CLS = cls
+	}
+}
+
+func genPulls(d *Dataset) {
+	spec := d.Spec
+	rng := dist.SplitRNG(spec.Seed, streamPulls)
+	// The bulk is fitted slightly below the target p90 because the Pareto
+	// tail (everything above PullP90) and the bump at 37 also sit below or
+	// above it; 0.84 re-centres the combined p90 on the paper's 333.
+	bulk := dist.FitLogNormal(spec.PullMedian, spec.PullP90*0.84)
+	tail := dist.TruncPareto{Xm: spec.PullP90, Alpha: spec.PullTailAlpha, Cap: 650_000_000}
+	for i := range d.Repos {
+		r := &d.Repos[i]
+		if i < len(spec.TopPulls) && r.Official {
+			r.Pulls = spec.TopPulls[i].Pulls
+			continue
+		}
+		u := rng.Float64()
+		switch {
+		case u < spec.PullBumpFrac:
+			p := spec.PullBumpValue + rng.NormFloat64()*1.5
+			if p < 0 {
+				p = 0
+			}
+			r.Pulls = int64(math.Round(p))
+		case u < spec.PullBumpFrac+spec.PullTailFrac:
+			r.Pulls = int64(tail.Sample(rng))
+		default:
+			r.Pulls = int64(math.Round(bulk.Sample(rng)))
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package tarutil builds and walks Docker layer tarballs. Layers are
+// transferred from the registry as gzip-compressed tar archives (§II-C);
+// this package provides a streaming writer used by the synthetic dataset
+// materializer and a streaming walker used by the analyzer.
+//
+// Unlike `docker pull`, which extracts every layer into the storage driver
+// (the overhead the paper's custom downloader avoids, §III-B), the walker
+// never touches the file system: it streams entries straight out of the
+// decompressor and hands metadata plus content to a callback.
+package tarutil
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"strings"
+	"time"
+)
+
+// Entry describes one member of a layer tarball as seen by the walker.
+type Entry struct {
+	// Name is the slash-separated path of the entry inside the layer.
+	Name string
+	// Size is the file size in bytes (0 for directories).
+	Size int64
+	// IsDir reports whether the entry is a directory.
+	IsDir bool
+	// Depth is the directory depth of the entry: "bin/ls" has depth 1,
+	// "usr/share/doc/pkg" has depth 3. The root has depth 0.
+	Depth int
+}
+
+// depthOf computes the directory depth of a cleaned tar path.
+func depthOf(name string, isDir bool) int {
+	clean := strings.Trim(path.Clean("/"+name), "/")
+	if clean == "" || clean == "." {
+		return 0
+	}
+	segments := strings.Count(clean, "/") + 1
+	if isDir {
+		return segments
+	}
+	return segments - 1
+}
+
+// WalkFunc receives each regular file or directory in a layer. For regular
+// files, content reads the file body (it must be consumed or skipped before
+// the walk advances; the walker skips any unread remainder itself). For
+// directories content is nil. Returning an error aborts the walk.
+type WalkFunc func(e Entry, content io.Reader) error
+
+// ErrNotGzip is returned by WalkGzip when the stream does not start with a
+// gzip header, which usually means the caller fetched a blob that the
+// registry stored uncompressed.
+var ErrNotGzip = errors.New("tarutil: stream is not gzip-compressed")
+
+// WalkGzip decompresses a gzip stream and walks the tar archive inside it.
+func WalkGzip(r io.Reader, fn WalkFunc) error {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		if errors.Is(err, gzip.ErrHeader) {
+			return ErrNotGzip
+		}
+		return fmt.Errorf("tarutil: opening gzip stream: %w", err)
+	}
+	defer zr.Close()
+	return Walk(zr, fn)
+}
+
+// Walk iterates over a raw (uncompressed) tar stream, invoking fn for every
+// regular file and directory. Other entry kinds (symlinks, devices,
+// whiteouts) are counted as files of size 0, matching how the paper's
+// analyzer profiles layer content by file metadata.
+func Walk(r io.Reader, fn WalkFunc) error {
+	tr := tar.NewReader(r)
+	for {
+		hdr, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("tarutil: reading tar header: %w", err)
+		}
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			e := Entry{Name: hdr.Name, IsDir: true, Depth: depthOf(hdr.Name, true)}
+			if err := fn(e, nil); err != nil {
+				return err
+			}
+		case tar.TypeReg:
+			e := Entry{Name: hdr.Name, Size: hdr.Size, Depth: depthOf(hdr.Name, false)}
+			if err := fn(e, tr); err != nil {
+				return err
+			}
+		default:
+			e := Entry{Name: hdr.Name, Size: 0, Depth: depthOf(hdr.Name, false)}
+			if err := fn(e, nil); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Builder assembles a layer tarball, optionally gzip-compressed, writing to
+// an underlying writer. Directories for file parents are NOT created
+// implicitly; call Dir explicitly, as Docker's image builder does.
+type Builder struct {
+	tw  *tar.Writer
+	zw  *gzip.Writer
+	err error
+}
+
+// NewBuilder returns a Builder writing an uncompressed tar stream to w.
+func NewBuilder(w io.Writer) *Builder {
+	return &Builder{tw: tar.NewWriter(w)}
+}
+
+// NewGzipBuilder returns a Builder writing a gzip-compressed tar stream to
+// w at the given gzip level (gzip.DefaultCompression if level is 0).
+func NewGzipBuilder(w io.Writer, level int) (*Builder, error) {
+	if level == 0 {
+		level = gzip.DefaultCompression
+	}
+	zw, err := gzip.NewWriterLevel(w, level)
+	if err != nil {
+		return nil, fmt.Errorf("tarutil: gzip writer: %w", err)
+	}
+	return &Builder{tw: tar.NewWriter(zw), zw: zw}, nil
+}
+
+// modTime is the fixed timestamp for all synthetic entries, keeping layer
+// bytes deterministic for a given content sequence.
+var modTime = time.Date(2017, 5, 30, 0, 0, 0, 0, time.UTC)
+
+// Dir adds a directory entry.
+func (b *Builder) Dir(name string) error {
+	if b.err != nil {
+		return b.err
+	}
+	name = strings.TrimSuffix(name, "/") + "/"
+	b.err = b.tw.WriteHeader(&tar.Header{
+		Typeflag: tar.TypeDir,
+		Name:     name,
+		Mode:     0o755,
+		ModTime:  modTime,
+	})
+	return b.err
+}
+
+// File adds a regular file with the given content.
+func (b *Builder) File(name string, content []byte) error {
+	if b.err != nil {
+		return b.err
+	}
+	b.err = b.tw.WriteHeader(&tar.Header{
+		Typeflag: tar.TypeReg,
+		Name:     name,
+		Mode:     0o644,
+		Size:     int64(len(content)),
+		ModTime:  modTime,
+	})
+	if b.err != nil {
+		return b.err
+	}
+	_, b.err = b.tw.Write(content)
+	return b.err
+}
+
+// FileFrom adds a regular file streaming size bytes from r.
+func (b *Builder) FileFrom(name string, size int64, r io.Reader) error {
+	if b.err != nil {
+		return b.err
+	}
+	b.err = b.tw.WriteHeader(&tar.Header{
+		Typeflag: tar.TypeReg,
+		Name:     name,
+		Mode:     0o644,
+		Size:     size,
+		ModTime:  modTime,
+	})
+	if b.err != nil {
+		return b.err
+	}
+	_, b.err = io.CopyN(b.tw, r, size)
+	return b.err
+}
+
+// Close flushes the tar (and gzip, if any) trailers. The Builder must not
+// be used afterwards.
+func (b *Builder) Close() error {
+	if b.err != nil {
+		return b.err
+	}
+	if err := b.tw.Close(); err != nil {
+		return fmt.Errorf("tarutil: closing tar: %w", err)
+	}
+	if b.zw != nil {
+		if err := b.zw.Close(); err != nil {
+			return fmt.Errorf("tarutil: closing gzip: %w", err)
+		}
+	}
+	return nil
+}
+
+// Err returns the first error encountered by the builder, if any.
+func (b *Builder) Err() error { return b.err }

@@ -1,0 +1,297 @@
+package tarutil
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildSample(t *testing.T, gz bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var b *Builder
+	var err error
+	if gz {
+		b, err = NewGzipBuilder(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		b = NewBuilder(&buf)
+	}
+	if err := b.Dir("usr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Dir("usr/bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.File("usr/bin/app", []byte("binary-content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.File("README", []byte("docs")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FileFrom("usr/stream.dat", 5, strings.NewReader("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func collect(t *testing.T, data []byte, gz bool) ([]Entry, map[string]string) {
+	t.Helper()
+	var entries []Entry
+	contents := make(map[string]string)
+	fn := func(e Entry, r io.Reader) error {
+		entries = append(entries, e)
+		if r != nil {
+			b, err := io.ReadAll(r)
+			if err != nil {
+				return err
+			}
+			contents[e.Name] = string(b)
+		}
+		return nil
+	}
+	var err error
+	if gz {
+		err = WalkGzip(bytes.NewReader(data), fn)
+	} else {
+		err = Walk(bytes.NewReader(data), fn)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries, contents
+}
+
+func TestRoundTripPlain(t *testing.T) {
+	data := buildSample(t, false)
+	entries, contents := collect(t, data, false)
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5", len(entries))
+	}
+	if contents["usr/bin/app"] != "binary-content" {
+		t.Errorf("app content = %q", contents["usr/bin/app"])
+	}
+	if contents["README"] != "docs" {
+		t.Errorf("README content = %q", contents["README"])
+	}
+	if contents["usr/stream.dat"] != "12345" {
+		t.Errorf("stream content = %q", contents["usr/stream.dat"])
+	}
+}
+
+func TestRoundTripGzip(t *testing.T) {
+	data := buildSample(t, true)
+	entries, _ := collect(t, data, true)
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5", len(entries))
+	}
+	// Gzip must actually compress the trailing tar padding.
+	plain := buildSample(t, false)
+	if len(data) >= len(plain) {
+		t.Errorf("gzip output %d not smaller than plain %d", len(data), len(plain))
+	}
+}
+
+func TestWalkGzipRejectsPlainTar(t *testing.T) {
+	data := buildSample(t, false)
+	err := WalkGzip(bytes.NewReader(data), func(Entry, io.Reader) error { return nil })
+	if !errors.Is(err, ErrNotGzip) {
+		t.Fatalf("WalkGzip(plain tar) error = %v, want ErrNotGzip", err)
+	}
+}
+
+func TestDepths(t *testing.T) {
+	data := buildSample(t, false)
+	entries, _ := collect(t, data, false)
+	want := map[string]int{
+		"usr/":           1,
+		"usr/bin/":       2,
+		"usr/bin/app":    2,
+		"README":         0,
+		"usr/stream.dat": 1,
+	}
+	for _, e := range entries {
+		if w, ok := want[e.Name]; ok && e.Depth != w {
+			t.Errorf("depth(%s) = %d, want %d", e.Name, e.Depth, w)
+		}
+	}
+}
+
+func TestDepthOf(t *testing.T) {
+	cases := []struct {
+		name  string
+		isDir bool
+		want  int
+	}{
+		{"a", false, 0},
+		{"a/b", false, 1},
+		{"a/b/c/d", false, 3},
+		{"a/", true, 1},
+		{"a/b/", true, 2},
+		{"./a/b", false, 1},
+		{"/abs/path", false, 1},
+		{"", true, 0},
+		{".", true, 0},
+	}
+	for _, c := range cases {
+		if got := depthOf(c.name, c.isDir); got != c.want {
+			t.Errorf("depthOf(%q, %v) = %d, want %d", c.name, c.isDir, got, c.want)
+		}
+	}
+}
+
+func TestWalkSkipsUnreadContent(t *testing.T) {
+	var buf bytes.Buffer
+	b := NewBuilder(&buf)
+	b.File("big", bytes.Repeat([]byte{1}, 10_000))
+	b.File("after", []byte("next"))
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	err := Walk(bytes.NewReader(buf.Bytes()), func(e Entry, r io.Reader) error {
+		names = append(names, e.Name) // do not read content
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[1] != "after" {
+		t.Fatalf("walk with unread content saw %d entries: %v", len(names), names)
+	}
+}
+
+func TestWalkCallbackErrorAborts(t *testing.T) {
+	data := buildSample(t, false)
+	sentinel := errors.New("stop")
+	count := 0
+	err := Walk(bytes.NewReader(data), func(Entry, io.Reader) error {
+		count++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+	if count != 1 {
+		t.Fatalf("callback ran %d times after error", count)
+	}
+}
+
+func TestWalkCorruptTar(t *testing.T) {
+	err := Walk(bytes.NewReader([]byte("this is not a tar archive at all, but it is long enough to look like one")), func(Entry, io.Reader) error { return nil })
+	if err == nil {
+		t.Fatal("corrupt tar walked without error")
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	b := NewBuilder(failWriter{})
+	_ = b.Dir("x")
+	if b.Err() == nil {
+		t.Fatal("expected sticky error after failed write")
+	}
+	if err := b.File("y", []byte("z")); err == nil {
+		t.Fatal("File after error should fail")
+	}
+	if err := b.Close(); err == nil {
+		t.Fatal("Close after error should fail")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// Property: any set of generated files round-trips through build+walk with
+// identical names, sizes and content digests.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nFiles uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nFiles%16) + 1
+		var buf bytes.Buffer
+		b, err := NewGzipBuilder(&buf, 0)
+		if err != nil {
+			return false
+		}
+		want := make(map[string][]byte)
+		for i := 0; i < n; i++ {
+			name := "dir/file" + string(rune('a'+i))
+			content := make([]byte, rng.Intn(5000))
+			rng.Read(content)
+			want[name] = content
+			if b.File(name, content) != nil {
+				return false
+			}
+		}
+		if b.Close() != nil {
+			return false
+		}
+		got := make(map[string][]byte)
+		err = WalkGzip(bytes.NewReader(buf.Bytes()), func(e Entry, r io.Reader) error {
+			if r == nil {
+				return nil
+			}
+			data, err := io.ReadAll(r)
+			if err != nil {
+				return err
+			}
+			got[e.Name] = data
+			return nil
+		})
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for name, content := range want {
+			if !bytes.Equal(got[name], content) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildLayer(b *testing.B) {
+	content := bytes.Repeat([]byte("xyz"), 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		bl, _ := NewGzipBuilder(&buf, 1)
+		for j := 0; j < 50; j++ {
+			bl.File("f", content)
+		}
+		bl.Close()
+	}
+}
+
+func BenchmarkWalkLayer(b *testing.B) {
+	var buf bytes.Buffer
+	bl, _ := NewGzipBuilder(&buf, 1)
+	content := bytes.Repeat([]byte("xyz"), 1000)
+	for j := 0; j < 50; j++ {
+		bl.File("f", content)
+	}
+	bl.Close()
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WalkGzip(bytes.NewReader(data), func(e Entry, r io.Reader) error {
+			if r != nil {
+				io.Copy(io.Discard, r)
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,213 @@
+// Package versions extends the study to multiple image versions per
+// repository — the paper's first future-work item (§VI: "we plan to extend
+// our analysis to multiple versions of Docker images and study the
+// dependencies among them").
+//
+// A version history is derived from each repository's latest image by
+// churning the layer stack backwards in time: top layers change often
+// between releases, deep base layers rarely (each position churns per
+// step with probability churn·2^{-depth}). The analysis then answers the
+// questions a registry operator would ask:
+//
+//   - cross-version sharing: how much does storing all tags cost versus
+//     one, with layer sharing across versions?
+//   - incremental pulls: upgrading from one tag to the next transfers
+//     what fraction of the full image?
+package versions
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Spec parameterizes history generation.
+type Spec struct {
+	// Seed makes histories reproducible (independent of the dataset
+	// seed).
+	Seed int64
+	// MeanVersions is the average number of tags per repository
+	// (geometric, at least 1).
+	MeanVersions float64
+	// MaxVersions caps a repository's history length.
+	MaxVersions int
+	// ChurnMin/ChurnMax bound the per-repository churn rate: the
+	// probability that the TOP layer is replaced between consecutive
+	// versions (deeper layers churn exponentially less).
+	ChurnMin, ChurnMax float64
+}
+
+// DefaultSpec returns a plausible tagging profile: a few tags per
+// repository, top-layer churn between 40% and 95% per release.
+func DefaultSpec() Spec {
+	return Spec{Seed: 7, MeanVersions: 4, MaxVersions: 30, ChurnMin: 0.4, ChurnMax: 0.95}
+}
+
+// LayerRef is one layer of one version: a stable identity plus its
+// compressed size.
+type LayerRef struct {
+	Key uint64
+	CLS int64
+}
+
+// Version is one tagged image: a layer stack, base first.
+type Version struct {
+	Layers []LayerRef
+}
+
+// Size returns the version's compressed size (sum of layer CLS).
+func (v *Version) Size() int64 {
+	var s int64
+	for _, l := range v.Layers {
+		s += l.CLS
+	}
+	return s
+}
+
+// Chain is one repository's history, oldest first; the last entry is the
+// repository's actual latest image.
+type Chain struct {
+	Repo     int32
+	Versions []Version
+}
+
+// History is the complete multi-tag view of a dataset.
+type History struct {
+	Chains []Chain
+}
+
+// Generate derives a version history for every downloadable repository of
+// the dataset.
+func Generate(d *synth.Dataset, spec Spec) (*History, error) {
+	if spec.MeanVersions < 1 || spec.MaxVersions < 1 {
+		return nil, errors.New("versions: MeanVersions and MaxVersions must be >= 1")
+	}
+	if spec.ChurnMin < 0 || spec.ChurnMax > 1 || spec.ChurnMin > spec.ChurnMax {
+		return nil, errors.New("versions: churn bounds must satisfy 0 <= min <= max <= 1")
+	}
+	rng := dist.SplitRNG(spec.Seed, 0x7461_6773) // "tags"
+	geo := dist.Geometric{P: 1 / spec.MeanVersions}
+
+	h := &History{}
+	nextKey := uint64(1) << 48 // synthetic old-layer keys above real layer ids
+
+	for ri := range d.Repos {
+		r := &d.Repos[ri]
+		if !r.Downloadable() {
+			continue
+		}
+		n := int(geo.SampleInt(rng))
+		if n > spec.MaxVersions {
+			n = spec.MaxVersions
+		}
+
+		// Latest version: the real image.
+		layers := d.ImageLayers(synth.ImageID(r.Image))
+		latest := Version{Layers: make([]LayerRef, len(layers))}
+		for j, l := range layers {
+			latest.Layers[j] = LayerRef{Key: uint64(l), CLS: d.Layers[l].CLS}
+		}
+
+		churn := spec.ChurnMin + rng.Float64()*(spec.ChurnMax-spec.ChurnMin)
+		chain := Chain{Repo: int32(ri), Versions: make([]Version, n)}
+		chain.Versions[n-1] = latest
+
+		// Walk backwards: each step, position j from the top churns with
+		// probability churn·2^{-j}; a churned layer gets a fresh key and
+		// a size-jittered CLS.
+		cur := latest
+		for v := n - 2; v >= 0; v-- {
+			prev := Version{Layers: make([]LayerRef, len(cur.Layers))}
+			copy(prev.Layers, cur.Layers)
+			for j := range prev.Layers {
+				depthFromTop := len(prev.Layers) - 1 - j
+				p := churn * math.Pow(2, -float64(depthFromTop))
+				if rng.Float64() < p {
+					jitter := math.Exp(rng.NormFloat64() * 0.35)
+					cls := int64(float64(prev.Layers[j].CLS) * jitter)
+					if cls < 32 {
+						cls = 32
+					}
+					prev.Layers[j] = LayerRef{Key: nextKey, CLS: cls}
+					nextKey++
+				}
+			}
+			chain.Versions[v] = prev
+			cur = prev
+		}
+		h.Chains = append(h.Chains, chain)
+	}
+	return h, nil
+}
+
+// Stats summarizes a history analysis.
+type Stats struct {
+	// Repos and Versions count the population.
+	Repos, Versions int
+	// MeanVersions is the average history length.
+	MeanVersions float64
+	// NaiveBytes stores every version independently; SharedBytes stores
+	// each distinct layer once (cross-version layer sharing).
+	NaiveBytes, SharedBytes int64
+	// CrossVersionRatio is naive/shared — the storage saving from
+	// sharing layers across tags of the same registry.
+	CrossVersionRatio float64
+	// IncrementalFrac is the distribution of upgrade costs: pulling
+	// v_{k+1} when v_k is local transfers this fraction of the full
+	// image.
+	IncrementalFrac *stats.CDF
+	// LatestOnlyFrac is the fraction of all-version bytes attributable
+	// to latest tags alone (what the paper's latest-only crawl saw).
+	LatestOnlyFrac float64
+}
+
+// Analyze computes the cross-version metrics.
+func Analyze(h *History) Stats {
+	st := Stats{IncrementalFrac: &stats.CDF{}}
+	seen := make(map[uint64]bool)
+	var latestBytes int64
+	for _, chain := range h.Chains {
+		st.Repos++
+		st.Versions += len(chain.Versions)
+		latestBytes += chain.Versions[len(chain.Versions)-1].Size()
+		for vi := range chain.Versions {
+			v := &chain.Versions[vi]
+			st.NaiveBytes += v.Size()
+			for _, l := range v.Layers {
+				if !seen[l.Key] {
+					seen[l.Key] = true
+					st.SharedBytes += l.CLS
+				}
+			}
+			// Incremental pull from the previous version.
+			if vi > 0 {
+				prev := make(map[uint64]bool, len(chain.Versions[vi-1].Layers))
+				for _, l := range chain.Versions[vi-1].Layers {
+					prev[l.Key] = true
+				}
+				var delta int64
+				for _, l := range v.Layers {
+					if !prev[l.Key] {
+						delta += l.CLS
+					}
+				}
+				if size := v.Size(); size > 0 {
+					st.IncrementalFrac.Add(float64(delta) / float64(size))
+				}
+			}
+		}
+	}
+	if st.Repos > 0 {
+		st.MeanVersions = float64(st.Versions) / float64(st.Repos)
+	}
+	if st.SharedBytes > 0 {
+		st.CrossVersionRatio = float64(st.NaiveBytes) / float64(st.SharedBytes)
+	}
+	if st.NaiveBytes > 0 {
+		st.LatestOnlyFrac = float64(latestBytes) / float64(st.NaiveBytes)
+	}
+	return st
+}

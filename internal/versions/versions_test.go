@@ -1,0 +1,152 @@
+package versions
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func testHistory(t *testing.T, spec Spec) (*synth.Dataset, *History) {
+	t.Helper()
+	d, err := synth.Generate(synth.DefaultSpec(0.0002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Generate(d, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, h
+}
+
+func TestGenerateStructure(t *testing.T) {
+	d, h := testHistory(t, DefaultSpec())
+	if len(h.Chains) != len(d.Images) {
+		t.Fatalf("chains = %d, want one per image (%d)", len(h.Chains), len(d.Images))
+	}
+	for _, chain := range h.Chains {
+		if len(chain.Versions) < 1 || len(chain.Versions) > DefaultSpec().MaxVersions {
+			t.Fatalf("chain has %d versions", len(chain.Versions))
+		}
+		// Latest must equal the repo's real image layers.
+		latest := chain.Versions[len(chain.Versions)-1]
+		repo := &d.Repos[chain.Repo]
+		real := d.ImageLayers(synth.ImageID(repo.Image))
+		if len(latest.Layers) != len(real) {
+			t.Fatalf("latest stack %d layers, image has %d", len(latest.Layers), len(real))
+		}
+		for j, l := range real {
+			if latest.Layers[j].Key != uint64(l) || latest.Layers[j].CLS != d.Layers[l].CLS {
+				t.Fatal("latest version does not match the real image")
+			}
+		}
+		// All versions keep the stack length.
+		for _, v := range chain.Versions {
+			if len(v.Layers) != len(latest.Layers) {
+				t.Fatal("stack length changed across versions")
+			}
+			for _, l := range v.Layers {
+				if l.CLS < 32 {
+					t.Fatalf("layer CLS %d below floor", l.CLS)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	_, h1 := testHistory(t, DefaultSpec())
+	_, h2 := testHistory(t, DefaultSpec())
+	if len(h1.Chains) != len(h2.Chains) {
+		t.Fatal("chain counts differ")
+	}
+	a, b := Analyze(h1), Analyze(h2)
+	if a.NaiveBytes != b.NaiveBytes || a.SharedBytes != b.SharedBytes {
+		t.Fatal("same seed produced different histories")
+	}
+}
+
+func TestGenerateRejectsBadSpec(t *testing.T) {
+	d, _ := testHistory(t, DefaultSpec())
+	for _, spec := range []Spec{
+		{MeanVersions: 0, MaxVersions: 5, ChurnMax: 0.5},
+		{MeanVersions: 3, MaxVersions: 0, ChurnMax: 0.5},
+		{MeanVersions: 3, MaxVersions: 5, ChurnMin: 0.9, ChurnMax: 0.5},
+		{MeanVersions: 3, MaxVersions: 5, ChurnMin: -0.1, ChurnMax: 0.5},
+		{MeanVersions: 3, MaxVersions: 5, ChurnMin: 0.5, ChurnMax: 1.5},
+	} {
+		if _, err := Generate(d, spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestAnalyzeSharing(t *testing.T) {
+	_, h := testHistory(t, DefaultSpec())
+	st := Analyze(h)
+	if st.Repos != len(h.Chains) {
+		t.Fatalf("Repos = %d", st.Repos)
+	}
+	if st.MeanVersions < 1 {
+		t.Fatalf("MeanVersions = %v", st.MeanVersions)
+	}
+	// Sharing across versions must save storage. The ratio can exceed the
+	// mean tag count (base layers shared across repositories dedup too)
+	// but not the total version count.
+	if st.CrossVersionRatio <= 1 {
+		t.Fatalf("CrossVersionRatio = %v, want > 1", st.CrossVersionRatio)
+	}
+	if st.CrossVersionRatio > float64(st.Versions) {
+		t.Fatalf("CrossVersionRatio %v exceeds version count %d (impossible)",
+			st.CrossVersionRatio, st.Versions)
+	}
+	if st.SharedBytes > st.NaiveBytes {
+		t.Fatal("shared bytes exceed naive bytes")
+	}
+	if st.LatestOnlyFrac <= 0 || st.LatestOnlyFrac > 1 {
+		t.Fatalf("LatestOnlyFrac = %v", st.LatestOnlyFrac)
+	}
+}
+
+func TestAnalyzeIncrementalPulls(t *testing.T) {
+	_, h := testHistory(t, DefaultSpec())
+	st := Analyze(h)
+	if st.IncrementalFrac.N() == 0 {
+		t.Fatal("no incremental pulls recorded")
+	}
+	// Upgrades transfer a fraction in (0, 1]; with base layers stable the
+	// median must be well below a full pull.
+	med := st.IncrementalFrac.Median()
+	if med <= 0 || med > 1 {
+		t.Fatalf("median incremental fraction = %v", med)
+	}
+	if med > 0.9 {
+		t.Fatalf("median incremental fraction %v ≈ full pull; churn model broken", med)
+	}
+}
+
+func TestHighChurnReducesSharing(t *testing.T) {
+	low := DefaultSpec()
+	low.ChurnMin, low.ChurnMax = 0.05, 0.10
+	high := DefaultSpec()
+	high.ChurnMin, high.ChurnMax = 0.95, 1.0
+
+	_, hLow := testHistory(t, low)
+	_, hHigh := testHistory(t, high)
+	sLow, sHigh := Analyze(hLow), Analyze(hHigh)
+	if sLow.CrossVersionRatio <= sHigh.CrossVersionRatio {
+		t.Fatalf("low churn ratio %v not above high churn %v",
+			sLow.CrossVersionRatio, sHigh.CrossVersionRatio)
+	}
+	if sLow.IncrementalFrac.Median() >= sHigh.IncrementalFrac.Median() {
+		t.Fatalf("low churn upgrade cost %v not below high churn %v",
+			sLow.IncrementalFrac.Median(), sHigh.IncrementalFrac.Median())
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := Analyze(&History{})
+	if st.Repos != 0 || st.CrossVersionRatio != 0 {
+		t.Fatalf("empty analysis: %+v", st)
+	}
+}

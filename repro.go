@@ -1,0 +1,87 @@
+// Package repro reproduces "Large-Scale Analysis of the Docker Hub
+// Dataset" (CLUSTER 2019): a full crawl → download → analyze pipeline over
+// a statistically calibrated synthetic Docker Hub, regenerating every table
+// and figure of the paper's evaluation.
+//
+// The facade offers two run modes:
+//
+//   - Model mode analyzes the synthetic Hub's metadata directly and scales
+//     to millions of file instances; it is the statistical reproduction
+//     path (figures 3–29).
+//   - Wire mode materializes real gzip-compressed layer tarballs into an
+//     in-process Docker Registry v2 server, then crawls the Hub search
+//     API, downloads every latest-tag image over HTTP, and analyzes the
+//     actual bytes — the methodology reproduction (§III).
+//
+// Quick start:
+//
+//	res, err := repro.Run(repro.Options{Scale: 0.001})
+//	if err != nil { ... }
+//	for _, fig := range res.Figures {
+//	    fmt.Println(fig)
+//	}
+//
+// Deeper control (custom specs, cache simulation, dedup growth) lives in
+// the internal packages and is exercised by the examples/ programs.
+package repro
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+// Options configures a reproduction run.
+type Options struct {
+	// Scale multiplies the paper's entity counts (457,627 repositories,
+	// 1,792,609 layers, 5.28 B files at 1.0). Model runs typically use
+	// 0.0005–0.01; wire runs 0.0001–0.001. Required.
+	Scale float64
+	// Seed overrides the default dataset seed (the paper's crawl date)
+	// when non-zero.
+	Seed int64
+	// Wire selects the full HTTP pipeline over materialized tarballs
+	// instead of model-mode analysis.
+	Wire bool
+	// Workers bounds pipeline parallelism (default 8).
+	Workers int
+	// GrowthSamples controls the Fig. 25 dedup-growth curve: 0 = default
+	// (4 nested samples plus the full dataset), negative = skip.
+	GrowthSamples int
+}
+
+// Result re-exports the study outcome.
+type Result = core.Result
+
+// Figure re-exports the rendered figure type.
+type Figure = report.Figure
+
+// Metric re-exports the paper-vs-measured comparison row.
+type Metric = report.Metric
+
+// Run executes a reproduction study.
+func Run(opts Options) (*Result, error) {
+	if opts.Scale <= 0 {
+		return nil, errors.New("repro: Options.Scale must be positive")
+	}
+	var spec synth.Spec
+	if opts.Wire {
+		spec = synth.MaterializeSpec(opts.Scale)
+	} else {
+		spec = synth.DefaultSpec(opts.Scale)
+	}
+	if opts.Seed != 0 {
+		spec.Seed = opts.Seed
+	}
+	study := &core.Study{
+		Spec:          spec,
+		Workers:       opts.Workers,
+		GrowthSamples: opts.GrowthSamples,
+	}
+	if opts.Wire {
+		return study.RunWire()
+	}
+	return study.RunModel()
+}

@@ -1,0 +1,70 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestRunRejectsBadScale(t *testing.T) {
+	for _, scale := range []float64{0, -1} {
+		if _, err := repro.Run(repro.Options{Scale: scale}); err == nil {
+			t.Errorf("Scale=%v accepted", scale)
+		}
+	}
+}
+
+func TestRunModelSmall(t *testing.T) {
+	res, err := repro.Run(repro.Options{Scale: 0.0002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) < 25 {
+		t.Fatalf("got %d figures, want >= 25", len(res.Figures))
+	}
+	if res.Crawl != nil || res.Download != nil {
+		t.Fatal("model run has wire-mode results")
+	}
+	// Every figure renders without panicking and mentions its ID.
+	for _, fig := range res.Figures {
+		s := fig.String()
+		if !strings.Contains(s, fig.ID) || !strings.Contains(s, "paper=") {
+			t.Errorf("figure %s rendered badly", fig.ID)
+		}
+	}
+}
+
+func TestRunWireSmall(t *testing.T) {
+	res, err := repro.Run(repro.Options{Scale: 0.0001, Wire: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crawl == nil || res.Download == nil || res.Registry == nil {
+		t.Fatal("wire run missing pipeline results")
+	}
+	if res.Download.Stats.Downloaded == 0 {
+		t.Fatal("wire run downloaded nothing")
+	}
+}
+
+func TestRunSeedOverride(t *testing.T) {
+	a, err := repro.Run(repro.Options{Scale: 0.0002, Seed: 1, GrowthSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repro.Run(repro.Options{Scale: 0.0002, Seed: 2, GrowthSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.TotalFLS() == b.Dataset.TotalFLS() {
+		t.Fatal("different seeds produced identical datasets")
+	}
+	c, err := repro.Run(repro.Options{Scale: 0.0002, Seed: 1, GrowthSamples: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dataset.TotalFLS() != c.Dataset.TotalFLS() {
+		t.Fatal("same seed produced different datasets")
+	}
+}
