@@ -1,0 +1,36 @@
+# Build / verification entry points. `make ci` is the pre-merge gate: it
+# vets, runs the full suite, and race-checks the concurrent analysis
+# pipeline (sharded dedup census, streaming store analyzer, pooled tar
+# walkers).
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-scaling ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with concurrent machinery. Kept narrower than
+# ./... so the gate stays fast enough to run on every change.
+race:
+	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore
+
+# Full benchmark sweep (slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Pipeline-scaling benchmarks only: worker sweep over the wire fixture and
+# the concurrent census microbench (see EXPERIMENTS.md, "pipeline scaling").
+bench-scaling:
+	$(GO) test -run '^$$' -bench AnalyzeStoreWorkers -benchmem .
+	$(GO) test -run '^$$' -bench IndexObserveParallel -benchmem ./internal/dedup
+
+ci: vet test race

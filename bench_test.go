@@ -11,6 +11,7 @@ import (
 	"archive/tar"
 	"compress/gzip"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -178,6 +179,37 @@ func BenchmarkPipelineWire(b *testing.B) {
 		if _, err := repro.Run(repro.Options{Scale: 0.0001, Wire: true, Workers: 8}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnalyzeStoreWorkers measures the streaming wire-path analysis
+// (walk + classify + digest + sharded dedup census) across worker counts
+// over the shared materialized fixture. Run with -benchmem to see the
+// per-file allocation budget; throughput scales with cores because the
+// census is lock-striped and there is no post-walk serial feed.
+func BenchmarkAnalyzeStoreWorkers(b *testing.B) {
+	_, reg, imgs := wireFixture(b)
+	var blobBytes int64
+	for _, d := range reg.Blobs().Digests() {
+		if sz, err := reg.Blobs().Stat(d); err == nil {
+			blobBytes += sz
+		}
+	}
+	for _, workers := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			b.SetBytes(blobBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := analyzer.AnalyzeStore(reg.Blobs(), imgs, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Index.Instances() == 0 {
+					b.Fatal("empty analysis")
+				}
+			}
+		})
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	analyze -data ./downloaded [-workers 8]
+//	analyze -data ./downloaded [-workers N]
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	data := flag.String("data", "", "download directory created by cmd/download (required)")
-	workers := flag.Int("workers", 8, "concurrent layer walks")
+	workers := flag.Int("workers", 0, "concurrent layer walks (0 = all CPUs)")
 	flag.Parse()
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "analyze: -data is required")

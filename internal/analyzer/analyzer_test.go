@@ -1,14 +1,20 @@
 package analyzer
 
 import (
+	"bytes"
 	"io"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/blobstore"
+	"repro/internal/digest"
 	"repro/internal/downloader"
 	"repro/internal/manifest"
 	"repro/internal/registry"
 	"repro/internal/synth"
+	"repro/internal/tarutil"
 )
 
 func modelResult(t *testing.T) (*synth.Dataset, *Result) {
@@ -288,6 +294,198 @@ func TestWireUncompressedPolicy(t *testing.T) {
 	mr, wr := model.Index.Ratios(), wire.Index.Ratios()
 	if mr.TotalFiles != wr.TotalFiles || mr.UniqueFiles != wr.UniqueFiles {
 		t.Fatal("dedup census diverged under the storage policy")
+	}
+}
+
+// wireImages materializes a synthetic registry and returns its blob store
+// plus the downloaded-image list, as cmd/download would produce them.
+func wireImages(t *testing.T, scale float64) (blobstore.Store, []downloader.Image) {
+	t.Helper()
+	d, err := synth.Generate(synth.MaterializeSpec(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(blobstore.NewMemory())
+	mat, err := synth.Materialize(d, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var images []downloader.Image
+	for i := range d.Repos {
+		r := &d.Repos[i]
+		if !r.Downloadable() {
+			continue
+		}
+		md := mat.ManifestDigests[r.Image]
+		rc, _, err := reg.Blobs().Get(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(rc)
+		rc.Close()
+		m, err := manifest.Unmarshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		images = append(images, downloader.Image{Repo: r.Name, Digest: md, Manifest: m})
+	}
+	return reg.Blobs(), images
+}
+
+// TestAnalyzeStoreWorkerInvariance asserts the streaming pipeline produces
+// bit-identical Results at every worker count: same layer order and
+// profiles, same census, same P² quantile state.
+func TestAnalyzeStoreWorkerInvariance(t *testing.T) {
+	store, images := wireImages(t, 0.0001)
+	base, err := AnalyzeStore(store, images, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Layers) == 0 || base.Index.Instances() == 0 {
+		t.Fatal("fixture produced an empty analysis; test is vacuous")
+	}
+	for _, workers := range []int{2, 8} {
+		res, err := AnalyzeStore(store, images, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Layers, base.Layers) {
+			t.Fatalf("workers=%d: layer profiles diverged", workers)
+		}
+		if !reflect.DeepEqual(res.Images, base.Images) {
+			t.Fatalf("workers=%d: image profiles diverged", workers)
+		}
+		if got, want := res.Index.Ratios(), base.Index.Ratios(); got != want {
+			t.Fatalf("workers=%d: dedup ratios %+v, want %+v", workers, got, want)
+		}
+		if got, want := res.Index.MultiCopyFrac(), base.Index.MultiCopyFrac(); got != want {
+			t.Fatalf("workers=%d: multi-copy frac %v, want %v", workers, got, want)
+		}
+		_, gotMax, gotEmpty := res.Index.RepeatCDF()
+		_, wantMax, wantEmpty := base.Index.RepeatCDF()
+		if gotMax != wantMax || gotEmpty != wantEmpty {
+			t.Fatalf("workers=%d: repeat max %d/%v, want %d/%v", workers, gotMax, gotEmpty, wantMax, wantEmpty)
+		}
+		// The P² digest state (markers and summary) must match bit for bit,
+		// which requires the deterministic ordered feed.
+		if !reflect.DeepEqual(res.FileSizes, base.FileSizes) {
+			t.Fatalf("workers=%d: file-size digest state diverged", workers)
+		}
+		for _, q := range []float64{0.5, 0.9} {
+			if got, want := res.FileSizes.Quantile(q), base.FileSizes.Quantile(q); got != want {
+				t.Fatalf("workers=%d: p%v = %v, want %v", workers, q*100, got, want)
+			}
+		}
+	}
+}
+
+// countingStore wraps a Store and counts Get calls per digest.
+type countingStore struct {
+	blobstore.Store
+	mu    sync.Mutex
+	gets  map[digest.Digest]int
+	total atomic.Int64
+}
+
+func newCountingStore(s blobstore.Store) *countingStore {
+	return &countingStore{Store: s, gets: map[digest.Digest]int{}}
+}
+
+func (c *countingStore) Get(d digest.Digest) (io.ReadCloser, int64, error) {
+	c.mu.Lock()
+	c.gets[d]++
+	c.mu.Unlock()
+	c.total.Add(1)
+	return c.Store.Get(d)
+}
+
+// TestAnalyzeStorePlainTarFetchOnce builds an image whose layers are plain
+// (uncompressed) tarballs and asserts the fallback path fetches every blob
+// exactly once — the format is sniffed, not discovered by a failed
+// decompress-and-refetch.
+func TestAnalyzeStorePlainTarFetchOnce(t *testing.T) {
+	mem := blobstore.NewMemory()
+	var layers []manifest.Descriptor
+	for l := 0; l < 3; l++ {
+		var buf bytes.Buffer
+		b := tarutil.NewBuilder(&buf)
+		if err := b.Dir("usr"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.File("usr/app.bin", bytes.Repeat([]byte{byte(l + 1)}, 100*(l+1))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.File("readme.txt", []byte("plain tar layer")); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ld, err := mem.Put(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers = append(layers, manifest.Descriptor{
+			MediaType: manifest.MediaTypeLayer, Size: int64(buf.Len()), Digest: ld,
+		})
+	}
+	cfg, err := mem.Put([]byte(`{"architecture":"amd64","os":"linux"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := manifest.New(manifest.Descriptor{MediaType: manifest.MediaTypeConfig, Size: 1, Digest: cfg}, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newCountingStore(mem)
+	res, err := AnalyzeStore(store, []downloader.Image{{Repo: "t/plain", Manifest: m}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layers) != 3 {
+		t.Fatalf("layers = %d, want 3", len(res.Layers))
+	}
+	for i := range res.Layers {
+		if res.Layers[i].FileCount != 2 || res.Layers[i].DirCount != 1 {
+			t.Fatalf("layer %d profile: %+v", i, res.Layers[i])
+		}
+		// Plain tar: blob size (CLS) is at least the contained bytes.
+		if res.Layers[i].CLS < res.Layers[i].FLS {
+			t.Fatalf("layer %d CLS %d < FLS %d", i, res.Layers[i].CLS, res.Layers[i].FLS)
+		}
+	}
+	for _, l := range layers {
+		if n := store.gets[l.Digest]; n != 1 {
+			t.Fatalf("layer %s fetched %d times, want exactly 1", l.Digest.Short(), n)
+		}
+	}
+}
+
+// TestAnalyzeStoreCancelsOnError asserts the first walk error cancels the
+// remaining work instead of draining the whole layer queue.
+func TestAnalyzeStoreCancelsOnError(t *testing.T) {
+	// A manifest of many layers, none of which exist in the store.
+	var layers []manifest.Descriptor
+	for l := 0; l < 64; l++ {
+		layers = append(layers, manifest.Descriptor{
+			MediaType: manifest.MediaTypeLayer, Size: 1,
+			Digest: digest.FromUint64(uint64(l)),
+		})
+	}
+	m, err := manifest.New(manifest.Descriptor{
+		MediaType: manifest.MediaTypeConfig, Size: 1, Digest: digest.FromUint64(999),
+	}, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newCountingStore(blobstore.NewMemory())
+	if _, err := AnalyzeStore(store, []downloader.Image{{Repo: "t/missing", Manifest: m}}, 1); err == nil {
+		t.Fatal("missing blobs not reported")
+	}
+	// workers=1: the single worker must stop at the first failure; the
+	// producer may have one more item in flight.
+	if n := store.total.Load(); n > 2 {
+		t.Fatalf("store fetched %d blobs after first error, want ≤ 2", n)
 	}
 }
 

@@ -200,7 +200,9 @@ func DedupGrowth(d *synth.Dataset, samples int) ([]report.GrowthPoint, error) {
 			continue
 		}
 		prev = n
-		idx := dedup.NewIndex()
+		// Pre-size each sample's census proportionally to its share of the
+		// dataset's unique files (exact for the full-dataset sample).
+		idx := dedup.NewIndexSized(len(d.Files) * n / total)
 		var files int64
 		for _, li := range perm[:n] {
 			l := synth.LayerID(li)

@@ -4,23 +4,52 @@
 // and layer-sharing effectiveness.
 //
 // The core structure is Index, a content-keyed census of file instances.
-// It is fed layer by layer (BeginLayer / Observe / EndLayer) in one pass,
-// then frozen; all metrics derive from the frozen census. Keys are 64-bit:
-// model-mode callers pass unique-file ids, wire-mode callers pass truncated
-// content digests — both preserve the equality structure deduplication
-// needs.
+// It is fed in one pass, then frozen; all metrics derive from the frozen
+// census. Keys are 64-bit: model-mode callers pass unique-file ids,
+// wire-mode callers pass truncated content digests — both preserve the
+// equality structure deduplication needs.
+//
+// # Sharded storage
+//
+// The census is split into 64 lock-striped shards selected by the top six
+// key bits; each shard owns a map of inline (non-pointer) records, so a
+// unique file costs one map slot and no separate heap object. Two feeding
+// protocols share the shards:
+//
+//   - Sequential: BeginLayer / Observe / EndLayer, one layer at a time on
+//     one goroutine. This is the model-mode path; it takes no locks.
+//   - Concurrent: ObserveLayer(layer, refs, obs) ingests one whole layer
+//     under pre-assigned layer numbers. Calls for different layers may run
+//     on any number of goroutines simultaneously; every per-record update
+//     is commutative (instance counts, distinct-layer counts, max refs),
+//     so the frozen census is identical regardless of ingestion order.
+//
+// The two protocols must not be mixed on one Index. After Freeze (or once
+// feeding has quiesced) all read methods are safe for concurrent use.
 package dedup
 
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/filetype"
 	"repro/internal/stats"
 )
 
-// fileRec is the census entry for one unique file content.
+// shardCount is the number of lock stripes. 64 keeps worst-case lock
+// contention at workers/64 per stripe while the padded shard array still
+// fits comfortably in L2.
+const (
+	shardCount = 64
+	shardShift = 64 - 6 // top six key bits select the shard
+)
+
+// fileRec is the census entry for one unique file content. Records are
+// stored inline in the shard maps (no per-record heap allocation).
 type fileRec struct {
 	size       int64
 	instances  int64
@@ -30,33 +59,54 @@ type fileRec struct {
 	ftype      filetype.Type
 }
 
+// shard is one lock stripe of the census. The padding keeps neighbouring
+// shards' mutexes off one cache line under concurrent ingestion.
+type shard struct {
+	mu    sync.Mutex
+	files map[uint64]fileRec
+	_     [40]byte
+}
+
+// FileObs is one file instance handed to ObserveLayer: the content key,
+// the file size, and the classified type. Size and Type must be functions
+// of Key (content-addressed), as they are for both key schemes.
+type FileObs struct {
+	Key  uint64
+	Size int64
+	Type filetype.Type
+}
+
 // Index is the global file census.
 type Index struct {
-	files map[uint64]*fileRec
+	shards [shardCount]shard
 
+	// Sequential-protocol state; owned by the feeding goroutine.
 	curLayer int32
 	curRefs  int32
 	inLayer  bool
-	frozen   bool
 
-	layerCount int32
-	instances  int64
-	instBytes  int64
+	frozen     atomic.Bool
+	layerCount atomic.Int32 // next sequential layer / high-water mark + 1
+	instances  atomic.Int64
+	instBytes  atomic.Int64
 }
 
 // NewIndex returns an empty census.
-func NewIndex() *Index {
-	return &Index{files: make(map[uint64]*fileRec), curLayer: -1}
-}
+func NewIndex() *Index { return NewIndexSized(0) }
 
 // NewIndexSized returns an empty census pre-sized for an expected number
 // of unique files, avoiding incremental map growth on large runs (the
 // unique count is predictable: ~3% of the instance count at paper scale).
 func NewIndexSized(uniqueHint int) *Index {
-	return &Index{files: make(map[uint64]*fileRec, uniqueHint), curLayer: -1}
+	x := &Index{curLayer: -1}
+	perShard := (uniqueHint + shardCount - 1) / shardCount
+	for i := range x.shards {
+		x.shards[i].files = make(map[uint64]fileRec, perShard)
+	}
+	return x
 }
 
-// Errors for misuse of the Begin/Observe/End protocol.
+// Errors for misuse of the feeding protocols.
 var (
 	ErrNotInLayer = errors.New("dedup: Observe outside BeginLayer/EndLayer")
 	ErrFrozen     = errors.New("dedup: index already frozen")
@@ -65,15 +115,14 @@ var (
 // BeginLayer starts feeding one layer's instances. refs is the number of
 // images referencing the layer (used for cross-image duplicate detection).
 func (x *Index) BeginLayer(refs int32) error {
-	if x.frozen {
+	if x.frozen.Load() {
 		return ErrFrozen
 	}
 	if x.inLayer {
 		return errors.New("dedup: BeginLayer while a layer is open")
 	}
 	x.inLayer = true
-	x.curLayer = x.layerCount
-	x.layerCount++
+	x.curLayer = x.layerCount.Add(1) - 1
 	x.curRefs = refs
 	return nil
 }
@@ -83,14 +132,14 @@ func (x *Index) Observe(key uint64, size int64, t filetype.Type) error {
 	if !x.inLayer {
 		return ErrNotInLayer
 	}
-	rec, ok := x.files[key]
+	s := &x.shards[key>>shardShift]
+	rec, ok := s.files[key]
 	if !ok {
-		rec = &fileRec{size: size, ftype: t, lastLayer: -1}
-		x.files[key] = rec
+		rec = fileRec{size: size, ftype: t, lastLayer: -1}
 	}
 	rec.instances++
-	x.instances++
-	x.instBytes += rec.size
+	x.instances.Add(1)
+	x.instBytes.Add(rec.size)
 	if rec.lastLayer != x.curLayer {
 		rec.lastLayer = x.curLayer
 		rec.layerCount++
@@ -98,6 +147,7 @@ func (x *Index) Observe(key uint64, size int64, t filetype.Type) error {
 	if x.curRefs > rec.maxRefs {
 		rec.maxRefs = x.curRefs
 	}
+	s.files[key] = rec
 	return nil
 }
 
@@ -110,20 +160,106 @@ func (x *Index) EndLayer() error {
 	return nil
 }
 
+// ObserveLayer ingests every file instance of one layer under a
+// pre-assigned layer number (0-based; the caller fixes the numbering up
+// front, e.g. from manifest order). refs is the layer's image-reference
+// count. Calls for distinct layers are safe to run concurrently; the same
+// layer must not be fed twice. obs is re-ordered in place (sorted by key)
+// so that each lock stripe is visited once and duplicate keys within the
+// layer collapse into a single record update, exactly matching the
+// sequential protocol's distinct-layer accounting.
+func (x *Index) ObserveLayer(layer, refs int32, obs []FileObs) error {
+	if x.frozen.Load() {
+		return ErrFrozen
+	}
+	if layer < 0 {
+		return fmt.Errorf("dedup: ObserveLayer with negative layer %d", layer)
+	}
+	// Track the layer-number high-water mark so sequential feeding cannot
+	// be safely resumed with a clashing number afterwards.
+	for {
+		cur := x.layerCount.Load()
+		if layer+1 <= cur || x.layerCount.CompareAndSwap(cur, layer+1) {
+			break
+		}
+	}
+	if len(obs) == 0 {
+		return nil
+	}
+	slices.SortFunc(obs, func(a, b FileObs) int {
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+		return 0
+	})
+	var inst, bytes int64
+	i := 0
+	for i < len(obs) {
+		si := obs[i].Key >> shardShift
+		s := &x.shards[si]
+		s.mu.Lock()
+		for i < len(obs) && obs[i].Key>>shardShift == si {
+			key := obs[i].Key
+			j := i + 1
+			for j < len(obs) && obs[j].Key == key {
+				j++
+			}
+			n := int64(j - i)
+			rec, ok := s.files[key]
+			if !ok {
+				rec = fileRec{size: obs[i].Size, ftype: obs[i].Type}
+			}
+			rec.instances += n
+			rec.layerCount++
+			rec.lastLayer = layer
+			if refs > rec.maxRefs {
+				rec.maxRefs = refs
+			}
+			s.files[key] = rec
+			inst += n
+			bytes += rec.size * n
+			i = j
+		}
+		s.mu.Unlock()
+	}
+	x.instances.Add(inst)
+	x.instBytes.Add(bytes)
+	return nil
+}
+
 // Freeze finalizes the census; no further layers may be added.
 func (x *Index) Freeze() error {
 	if x.inLayer {
 		return errors.New("dedup: Freeze with a layer open")
 	}
-	x.frozen = true
+	x.frozen.Store(true)
 	return nil
 }
 
+// forEach visits every census record. It takes no locks: callers must be
+// past Freeze or otherwise quiescent.
+func (x *Index) forEach(fn func(key uint64, rec *fileRec)) {
+	for i := range x.shards {
+		for k, rec := range x.shards[i].files {
+			fn(k, &rec)
+		}
+	}
+}
+
 // Unique returns the number of distinct file contents observed.
-func (x *Index) Unique() int { return len(x.files) }
+func (x *Index) Unique() int {
+	n := 0
+	for i := range x.shards {
+		n += len(x.shards[i].files)
+	}
+	return n
+}
 
 // Instances returns the total number of file instances observed.
-func (x *Index) Instances() int64 { return x.instances }
+func (x *Index) Instances() int64 { return x.instances.Load() }
 
 // Ratios summarizes §V-B: "After removing redundant files, there are only
 // 3.2% of files left … deduplication ratios of 31.5× and 6.9× in terms of
@@ -144,12 +280,12 @@ type Ratios struct {
 // Ratios computes the global dedup ratios.
 func (x *Index) Ratios() Ratios {
 	var r Ratios
-	r.TotalFiles = x.instances
-	r.TotalBytes = x.instBytes
-	r.UniqueFiles = int64(len(x.files))
-	for _, rec := range x.files {
+	r.TotalFiles = x.instances.Load()
+	r.TotalBytes = x.instBytes.Load()
+	r.UniqueFiles = int64(x.Unique())
+	x.forEach(func(_ uint64, rec *fileRec) {
 		r.UniqueBytes += rec.size
-	}
+	})
 	if r.UniqueFiles > 0 {
 		r.CountRatio = float64(r.TotalFiles) / float64(r.UniqueFiles)
 	}
@@ -170,14 +306,16 @@ func (x *Index) Ratios() Ratios {
 // repeated file is empty (the paper's famous finding).
 func (x *Index) RepeatCDF() (cdf *stats.CDF, maxRepeat int64, maxIsEmpty bool) {
 	cdf = &stats.CDF{}
-	var maxRec *fileRec
-	for _, rec := range x.files {
+	var maxRec fileRec
+	found := false
+	x.forEach(func(_ uint64, rec *fileRec) {
 		cdf.AddInt(rec.instances)
-		if maxRec == nil || rec.instances > maxRec.instances {
-			maxRec = rec
+		if !found || rec.instances > maxRec.instances {
+			maxRec = *rec
+			found = true
 		}
-	}
-	if maxRec != nil {
+	})
+	if found {
 		maxRepeat = maxRec.instances
 		maxIsEmpty = maxRec.size == 0
 	}
@@ -187,16 +325,17 @@ func (x *Index) RepeatCDF() (cdf *stats.CDF, maxRepeat int64, maxIsEmpty bool) {
 // MultiCopyFrac returns the fraction of unique files with more than one
 // copy ("over 99.4% of files have more than one copy").
 func (x *Index) MultiCopyFrac() float64 {
-	if len(x.files) == 0 {
+	unique := x.Unique()
+	if unique == 0 {
 		return 0
 	}
 	multi := 0
-	for _, rec := range x.files {
+	x.forEach(func(_ uint64, rec *fileRec) {
 		if rec.instances > 1 {
 			multi++
 		}
-	}
-	return float64(multi) / float64(len(x.files))
+	})
+	return float64(multi) / float64(unique)
 }
 
 // GroupDedup is the per-type-group view of Fig. 27.
@@ -214,7 +353,7 @@ type GroupDedup struct {
 // capacity.
 func (x *Index) ByGroup() []GroupDedup {
 	agg := make(map[filetype.Group]*GroupDedup)
-	for _, rec := range x.files {
+	x.forEach(func(_ uint64, rec *fileRec) {
 		g := rec.ftype.Group()
 		gd, ok := agg[g]
 		if !ok {
@@ -225,14 +364,15 @@ func (x *Index) ByGroup() []GroupDedup {
 		gd.UniqueBytes += rec.size
 		gd.TotalFiles += rec.instances
 		gd.TotalBytes += rec.size * rec.instances
-	}
+	})
+	instBytes := x.instBytes.Load()
 	out := make([]GroupDedup, 0, len(agg))
 	for _, gd := range agg {
 		if gd.TotalBytes > 0 {
 			gd.DedupSavings = 1 - float64(gd.UniqueBytes)/float64(gd.TotalBytes)
 		}
-		if x.instBytes > 0 {
-			gd.CapacityShare = float64(gd.TotalBytes) / float64(x.instBytes)
+		if instBytes > 0 {
+			gd.CapacityShare = float64(gd.TotalBytes) / float64(instBytes)
 		}
 		out = append(out, *gd)
 	}
@@ -253,9 +393,9 @@ type TypeDedup struct {
 // by descending capacity.
 func (x *Index) ByTypeInGroup(g filetype.Group) []TypeDedup {
 	agg := make(map[filetype.Type]*TypeDedup)
-	for _, rec := range x.files {
+	x.forEach(func(_ uint64, rec *fileRec) {
 		if rec.ftype.Group() != g {
-			continue
+			return
 		}
 		td, ok := agg[rec.ftype]
 		if !ok {
@@ -265,7 +405,7 @@ func (x *Index) ByTypeInGroup(g filetype.Group) []TypeDedup {
 		td.UniqueBytes += rec.size
 		td.TotalFiles += rec.instances
 		td.TotalBytes += rec.size * rec.instances
-	}
+	})
 	out := make([]TypeDedup, 0, len(agg))
 	for _, td := range agg {
 		if td.TotalBytes > 0 {
@@ -281,7 +421,7 @@ func (x *Index) ByTypeInGroup(g filetype.Group) []TypeDedup {
 // (Fig. 13) and the type-share figures (14–22).
 func (x *Index) TypeUsage() []filetype.TypeUsage {
 	agg := make(map[filetype.Type]*filetype.TypeUsage)
-	for _, rec := range x.files {
+	x.forEach(func(_ uint64, rec *fileRec) {
 		tu, ok := agg[rec.ftype]
 		if !ok {
 			tu = &filetype.TypeUsage{Type: rec.ftype}
@@ -289,7 +429,7 @@ func (x *Index) TypeUsage() []filetype.TypeUsage {
 		}
 		tu.Count += rec.instances
 		tu.Capacity += float64(rec.size * rec.instances)
-	}
+	})
 	out := make([]filetype.TypeUsage, 0, len(agg))
 	for _, tu := range agg {
 		out = append(out, *tu)
@@ -305,7 +445,7 @@ func (x *Index) TypeUsage() []filetype.TypeUsage {
 // images since 90% of layers are image-exclusive, so the overcount from
 // one image holding both layers is marginal.
 func (x *Index) CrossDup(key uint64) (crossLayer, crossImage bool, err error) {
-	rec, ok := x.files[key]
+	rec, ok := x.shards[key>>shardShift].files[key]
 	if !ok {
 		return false, false, fmt.Errorf("dedup: unknown file key %#x", key)
 	}

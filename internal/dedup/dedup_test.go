@@ -2,6 +2,9 @@ package dedup
 
 import (
 	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -267,4 +270,185 @@ func BenchmarkObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		x.Observe(uint64(i%100_000), 1024, filetype.ElfExecutable)
 	}
+}
+
+// planLayers builds a deterministic multi-layer observation plan with
+// heavy cross-layer key overlap. Sizes and types are functions of the key,
+// as content addressing guarantees.
+func planLayers(layers, filesPerLayer int) ([][]FileObs, []int32) {
+	types := []filetype.Type{filetype.ElfExecutable, filetype.ASCIIText, filetype.PythonScript, filetype.PNGImage}
+	plan := make([][]FileObs, layers)
+	refs := make([]int32, layers)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for l := range plan {
+		refs[l] = int32(l%3 + 1)
+		obs := make([]FileObs, filesPerLayer)
+		for f := range obs {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			// Small key space forces duplicates within and across layers;
+			// spread across the full 64-bit range so every shard is hit.
+			key := (rng % 512) * 0x0040_0000_0000_0000
+			obs[f] = FileObs{Key: key, Size: int64(key>>54) * 7, Type: types[key>>54%4]}
+		}
+		plan[l] = obs
+	}
+	return plan, refs
+}
+
+// recSnapshot is the comparable view of one census record.
+type recSnapshot struct {
+	instances  int64
+	size       int64
+	layerCount int32
+	maxRefs    int32
+	ftype      filetype.Type
+}
+
+func snapshot(x *Index) map[uint64]recSnapshot {
+	out := make(map[uint64]recSnapshot)
+	x.forEach(func(k uint64, rec *fileRec) {
+		out[k] = recSnapshot{rec.instances, rec.size, rec.layerCount, rec.maxRefs, rec.ftype}
+	})
+	return out
+}
+
+// TestObserveLayerMatchesSequential feeds the same layer plan through the
+// sequential protocol and through concurrent ObserveLayer calls in random
+// completion order, and requires identical frozen censuses.
+func TestObserveLayerMatchesSequential(t *testing.T) {
+	plan, refs := planLayers(40, 200)
+
+	seq := NewIndex()
+	for l, obs := range plan {
+		if err := seq.BeginLayer(refs[l]); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range obs {
+			if err := seq.Observe(o.Key, o.Size, o.Type); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := seq.EndLayer(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seq.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	conc := NewIndexSized(512)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := range work {
+				obs := append([]FileObs(nil), plan[l]...)
+				if err := conc.ObserveLayer(int32(l), refs[l], obs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for l := len(plan) - 1; l >= 0; l-- { // reversed feed order on purpose
+		work <- l
+	}
+	close(work)
+	wg.Wait()
+	if err := conc.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := conc.Instances(), seq.Instances(); got != want {
+		t.Fatalf("instances = %d, want %d", got, want)
+	}
+	if got, want := conc.Unique(), seq.Unique(); got != want {
+		t.Fatalf("unique = %d, want %d", got, want)
+	}
+	if got, want := conc.Ratios(), seq.Ratios(); got != want {
+		t.Fatalf("ratios = %+v, want %+v", got, want)
+	}
+	if got, want := conc.MultiCopyFrac(), seq.MultiCopyFrac(); got != want {
+		t.Fatalf("multi-copy frac = %v, want %v", got, want)
+	}
+	sSnap, cSnap := snapshot(seq), snapshot(conc)
+	if !reflect.DeepEqual(sSnap, cSnap) {
+		t.Fatalf("census records diverged: sequential %d records, concurrent %d", len(sSnap), len(cSnap))
+	}
+	for key := range sSnap {
+		scl, sci, err1 := seq.CrossDup(key)
+		ccl, cci, err2 := conc.CrossDup(key)
+		if err1 != nil || err2 != nil || scl != ccl || sci != cci {
+			t.Fatalf("cross-dup for %#x: seq (%v,%v,%v) conc (%v,%v,%v)", key, scl, sci, err1, ccl, cci, err2)
+		}
+	}
+	if !reflect.DeepEqual(seq.ByGroup(), conc.ByGroup()) {
+		t.Fatal("ByGroup diverged")
+	}
+}
+
+func TestObserveLayerErrors(t *testing.T) {
+	x := NewIndex()
+	if err := x.ObserveLayer(-1, 1, nil); err == nil {
+		t.Error("negative layer accepted")
+	}
+	x.Freeze()
+	if err := x.ObserveLayer(0, 1, []FileObs{{Key: 1, Size: 1}}); err != ErrFrozen {
+		t.Errorf("ObserveLayer after Freeze = %v, want ErrFrozen", err)
+	}
+}
+
+// TestObserveLayerDuplicatesWithinLayer checks the in-layer duplicate
+// collapse: two instances in one layer count one distinct layer, matching
+// the sequential lastLayer accounting.
+func TestObserveLayerDuplicatesWithinLayer(t *testing.T) {
+	x := NewIndex()
+	obs := []FileObs{
+		{Key: 7, Size: 10, Type: filetype.ASCIIText},
+		{Key: 9, Size: 20, Type: filetype.ASCIIText},
+		{Key: 7, Size: 10, Type: filetype.ASCIIText},
+	}
+	if err := x.ObserveLayer(0, 1, obs); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.ObserveLayer(1, 2, []FileObs{{Key: 7, Size: 10, Type: filetype.ASCIIText}}); err != nil {
+		t.Fatal(err)
+	}
+	x.Freeze()
+	if got := x.Instances(); got != 4 {
+		t.Fatalf("instances = %d, want 4", got)
+	}
+	cl, ci, err := x.CrossDup(7)
+	if err != nil || !cl || !ci {
+		t.Fatalf("key 7: cl=%v ci=%v err=%v, want both duplicated", cl, ci, err)
+	}
+	cl, ci, err = x.CrossDup(9)
+	if err != nil || cl || ci {
+		t.Fatalf("key 9: cl=%v ci=%v err=%v, want neither", cl, ci, err)
+	}
+}
+
+// BenchmarkIndexObserveParallel measures concurrent whole-layer ingestion
+// into the sharded census — the wire pipeline's hot write path.
+func BenchmarkIndexObserveParallel(b *testing.B) {
+	const filesPerLayer = 512
+	plan, refs := planLayers(64, filesPerLayer)
+	b.ReportAllocs()
+	b.SetBytes(filesPerLayer * 24) // one FileObs per instance
+	var layerNo atomic.Int32
+	x := NewIndexSized(1024)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]FileObs, filesPerLayer)
+		for pb.Next() {
+			l := layerNo.Add(1) - 1
+			src := int(l) % len(plan)
+			copy(buf, plan[src])
+			if err := x.ObserveLayer(l, refs[src], buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -177,6 +177,20 @@ func (h *Hasher) Write(p []byte) (int, error) { return h.h.Write(p) }
 // Digest returns the digest of everything written so far.
 func (h *Hasher) Digest() Digest { return encode(h.h.Sum(nil)) }
 
+// Reset returns the Hasher to its initial state so it can be reused,
+// letting hot paths (one digest per file instance) pool hashers instead of
+// allocating a fresh SHA-256 state each time.
+func (h *Hasher) Reset() { h.h.Reset() }
+
+// Key64 returns the first 8 bytes of the current hash as a big-endian
+// uint64, equal to Digest().Key64() but without materializing the digest
+// string (which costs three allocations per call).
+func (h *Hasher) Key64() uint64 {
+	var buf [sha256.Size]byte
+	sum := h.h.Sum(buf[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
 // Verifier wraps a hash and an expected digest so callers can stream content
 // through it and confirm integrity afterwards, mirroring how a registry
 // client verifies a pulled blob against the digest in the manifest.

@@ -219,3 +219,27 @@ func BenchmarkFromBytes4K(b *testing.B) {
 		FromBytes(buf)
 	}
 }
+
+func TestHasherKey64MatchesDigest(t *testing.T) {
+	h := NewHasher()
+	for _, chunk := range []string{"", "layer", "-content", "-bytes"} {
+		h.Write([]byte(chunk))
+		if got, want := h.Key64(), h.Digest().Key64(); got != want {
+			t.Fatalf("after %q: Hasher.Key64 = %#x, Digest().Key64 = %#x", chunk, got, want)
+		}
+	}
+}
+
+func TestHasherReset(t *testing.T) {
+	h := NewHasher()
+	h.Write([]byte("pollute"))
+	h.Reset()
+	if got, want := h.Digest(), FromBytes(nil); got != want {
+		t.Fatalf("after Reset: digest = %s, want empty-content digest %s", got, want)
+	}
+	h.Reset()
+	h.Write([]byte("abc"))
+	if got, want := h.Digest(), FromString("abc"); got != want {
+		t.Fatalf("Reset+Write digest = %s, want %s", got, want)
+	}
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -146,5 +147,41 @@ func BenchmarkP2Add(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e.Add(float64(i % 10_000))
+	}
+}
+
+// TestLockedP2Digest feeds a locked digest from many goroutines and checks
+// the exact summary plus quantile sanity (exact ordering of P² marker
+// updates is schedule-dependent, so only bounds are asserted).
+func TestLockedP2Digest(t *testing.T) {
+	const goroutines, perG = 8, 5000
+	d := NewLockedP2Digest(0.5, 0.9)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Low-discrepancy uniform values: decorrelates value from
+				// feed order so the P² estimate stays accurate however the
+				// scheduler interleaves the goroutines.
+				d.Add(math.Mod(float64(g*perG+i)*0.6180339887498949, 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	sum := d.Summary()
+	if sum.N() != goroutines*perG {
+		t.Fatalf("N = %d, want %d", sum.N(), goroutines*perG)
+	}
+	if sum.Min() < 0 || sum.Max() >= 1 {
+		t.Fatalf("range [%v, %v] outside [0, 1)", sum.Min(), sum.Max())
+	}
+	p50, p90 := d.Quantile(0.5), d.Quantile(0.9)
+	if p50 < 0.4 || p50 > 0.6 {
+		t.Fatalf("p50 = %v, want ≈ 0.5", p50)
+	}
+	if p90 < 0.8 || p90 > 1.0 {
+		t.Fatalf("p90 = %v, want ≈ 0.9", p90)
 	}
 }

@@ -11,12 +11,14 @@ package tarutil
 
 import (
 	"archive/tar"
+	"bufio"
 	"compress/gzip"
 	"errors"
 	"fmt"
 	"io"
 	"path"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -68,6 +70,63 @@ func WalkGzip(r io.Reader, fn WalkFunc) error {
 	}
 	defer zr.Close()
 	return Walk(zr, fn)
+}
+
+// Reader pools for WalkAuto. Layer walks are short-lived and high-volume,
+// so the decompression state (a 32 KiB read buffer and a gzip inflater,
+// together the dominant per-walk allocations) is recycled across walks.
+var (
+	bufReaderPool = sync.Pool{
+		New: func() any { return bufio.NewReaderSize(nil, 32<<10) },
+	}
+	gzipReaderPool sync.Pool // holds *gzip.Reader; empty until first Put
+)
+
+// gzipMagic is the two-byte gzip stream signature (RFC 1952).
+const gzipMagic = "\x1f\x8b"
+
+// WalkAuto walks a layer blob that is either a gzip-compressed tarball
+// (the registry wire format) or a plain tarball (the uncompressed storage
+// policy the paper proposes for small layers). The format is sniffed from
+// the first two bytes through a pooled bufio.Reader, so the blob is read
+// exactly once — unlike WalkGzip, no second fetch is needed for the
+// plain-tar fallback. Decompressor state is pooled across calls.
+func WalkAuto(r io.Reader, fn WalkFunc) error {
+	br := bufReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	defer func() {
+		br.Reset(nil) // drop the underlying reader before pooling
+		bufReaderPool.Put(br)
+	}()
+
+	magic, err := br.Peek(len(gzipMagic))
+	if len(magic) < len(gzipMagic) || string(magic) != gzipMagic {
+		if err != nil && !errors.Is(err, io.EOF) {
+			return fmt.Errorf("tarutil: sniffing stream: %w", err)
+		}
+		// Not a gzip stream: walk it as a plain tarball.
+		return Walk(br, fn)
+	}
+
+	zr, _ := gzipReaderPool.Get().(*gzip.Reader)
+	if zr == nil {
+		if zr, err = gzip.NewReader(br); err != nil {
+			return fmt.Errorf("tarutil: opening gzip stream: %w", err)
+		}
+	} else if err = zr.Reset(br); err != nil {
+		gzipReaderPool.Put(zr)
+		return fmt.Errorf("tarutil: opening gzip stream: %w", err)
+	}
+	walkErr := Walk(zr, fn)
+	closeErr := zr.Close()
+	gzipReaderPool.Put(zr)
+	if walkErr != nil {
+		return walkErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("tarutil: closing gzip stream: %w", closeErr)
+	}
+	return nil
 }
 
 // Walk iterates over a raw (uncompressed) tar stream, invoking fn for every

@@ -295,3 +295,100 @@ func BenchmarkWalkLayer(b *testing.B) {
 		})
 	}
 }
+
+// walkAutoCollect walks data with WalkAuto and returns entries + contents.
+func walkAutoCollect(t *testing.T, data []byte) ([]Entry, map[string]string) {
+	t.Helper()
+	var entries []Entry
+	contents := make(map[string]string)
+	err := WalkAuto(bytes.NewReader(data), func(e Entry, r io.Reader) error {
+		entries = append(entries, e)
+		if r != nil {
+			b, err := io.ReadAll(r)
+			if err != nil {
+				return err
+			}
+			contents[e.Name] = string(b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries, contents
+}
+
+// TestWalkAutoSniffsBothFormats walks the same logical layer in both wire
+// formats through the sniffing path and requires identical results. The
+// walks repeat to exercise pooled reader reuse.
+func TestWalkAutoSniffsBothFormats(t *testing.T) {
+	gz := buildSample(t, true)
+	plain := buildSample(t, false)
+	for round := 0; round < 3; round++ {
+		ge, gc := walkAutoCollect(t, gz)
+		pe, pc := walkAutoCollect(t, plain)
+		if len(ge) != 5 || len(pe) != 5 {
+			t.Fatalf("round %d: entries gzip=%d plain=%d, want 5/5", round, len(ge), len(pe))
+		}
+		for i := range ge {
+			if ge[i] != pe[i] {
+				t.Fatalf("round %d: entry %d diverged: %+v vs %+v", round, i, ge[i], pe[i])
+			}
+		}
+		for name, want := range gc {
+			if pc[name] != want {
+				t.Fatalf("round %d: content %q diverged", round, name)
+			}
+		}
+	}
+}
+
+// TestWalkAutoConcurrent exercises the reader pools from many goroutines
+// (run under -race in CI).
+func TestWalkAutoConcurrent(t *testing.T) {
+	gz := buildSample(t, true)
+	plain := buildSample(t, false)
+	done := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		data := gz
+		if w%2 == 1 {
+			data = plain
+		}
+		go func(data []byte) {
+			n := 0
+			err := WalkAuto(bytes.NewReader(data), func(e Entry, r io.Reader) error {
+				n++
+				return nil
+			})
+			if err == nil && n != 5 {
+				err = errors.New("wrong entry count")
+			}
+			done <- err
+		}(data)
+	}
+	for w := 0; w < 16; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWalkAutoEmptyInput(t *testing.T) {
+	// A zero-byte stream is neither gzip nor a tar header: it walks as an
+	// empty plain tar (no entries, no error).
+	n := 0
+	if err := WalkAuto(bytes.NewReader(nil), func(Entry, io.Reader) error { n++; return nil }); err != nil {
+		t.Fatalf("WalkAuto(empty) = %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("empty input produced %d entries", n)
+	}
+}
+
+func TestWalkAutoCorruptGzip(t *testing.T) {
+	// Correct magic, garbage after: must surface a gzip error, not walk.
+	data := []byte{0x1f, 0x8b, 0xff, 0xff, 0xff}
+	if err := WalkAuto(bytes.NewReader(data), func(Entry, io.Reader) error { return nil }); err == nil {
+		t.Fatal("corrupt gzip stream accepted")
+	}
+}
