@@ -1,11 +1,10 @@
 # Build / verification entry points. `make ci` is the pre-merge gate: it
-# vets, runs the full suite, and race-checks the concurrent analysis
-# pipeline (sharded dedup census, streaming store analyzer, pooled tar
-# walkers).
+# vets, runs the full suite, race-checks the concurrent machinery, and
+# smoke-runs the streaming benchmarks so they cannot bit-rot.
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scaling ci
+.PHONY: all build vet test race bench bench-scaling bench-smoke ci
 
 all: build
 
@@ -21,7 +20,7 @@ test:
 # Race-check the packages with concurrent machinery. Kept narrower than
 # ./... so the gate stays fast enough to run on every change.
 race:
-	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore
+	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/downloader ./internal/registry ./internal/pipeline
 
 # Full benchmark sweep (slow).
 bench:
@@ -33,4 +32,9 @@ bench-scaling:
 	$(GO) test -run '^$$' -bench AnalyzeStoreWorkers -benchmem .
 	$(GO) test -run '^$$' -bench IndexObserveParallel -benchmem ./internal/dedup
 
-ci: vet test race
+# One-iteration pass over the streaming/fused benchmarks: catches benchmark
+# bit-rot in CI without paying the full bench cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'DownloadStreaming|FusedPipeline' -benchtime=1x -benchmem .
+
+ci: vet test race bench-smoke

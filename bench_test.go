@@ -10,6 +10,7 @@ package repro_test
 import (
 	"archive/tar"
 	"compress/gzip"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/dedupstore"
 	"repro/internal/downloader"
 	"repro/internal/manifest"
+	"repro/internal/pipeline"
 	"repro/internal/pullsim"
 	"repro/internal/registry"
 	"repro/internal/report"
@@ -544,4 +546,122 @@ func BenchmarkAblation_CompressionThreshold(b *testing.B) {
 	}
 	b.Run("all-gzip", func(b *testing.B) { run(b, 0) })
 	b.Run("small-uncompressed", func(b *testing.B) { run(b, 64<<10) })
+}
+
+// --- streaming download path (ISSUE 3) --------------------------------------
+
+// BenchmarkDownloadStreaming contrasts the buffered blob path (BlobVerified
+// materializes the whole layer, PutVerified copies it) with the streaming
+// path (BlobStreamVerified hashes in flight, PutStream commits through a
+// temp file). The payload is deliberately large: streaming B/op stays at
+// ~copy-buffer size regardless of layer size, buffered B/op tracks the
+// layer.
+func BenchmarkDownloadStreaming(b *testing.B) {
+	const layerSize = 8 << 20
+	payload := make([]byte, layerSize)
+	for i := range payload {
+		payload[i] = byte(i * 2654435761)
+	}
+	reg := registry.New(blobstore.NewMemory())
+	reg.CreateRepo("bench/stream", false)
+	dg, err := reg.PushBlob(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := newLoopback(b, reg)
+	defer srv.close()
+	c := &registry.Client{Base: srv.url}
+
+	b.Run("buffered", func(b *testing.B) {
+		store, err := blobstore.NewDisk(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(layerSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			content, err := c.BlobVerified("bench/stream", dg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := store.PutVerified(dg, content); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := store.Delete(dg); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		store, err := blobstore.NewDisk(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(layerSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rc, _, err := c.BlobStreamVerified("bench/stream", dg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := store.PutStream(dg, rc); err != nil {
+				rc.Close()
+				b.Fatal(err)
+			}
+			rc.Close()
+			b.StopTimer()
+			if err := store.Delete(dg); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}
+
+// BenchmarkFusedPipeline contrasts the two-phase download-then-analyze run
+// with the fused pipeline that walks each layer while it streams off the
+// wire (wall clock approaches max(download, analyze) instead of their sum).
+func BenchmarkFusedPipeline(b *testing.B) {
+	d, reg, _ := wireFixture(b)
+	repos := make([]string, 0, len(d.Repos))
+	for i := range d.Repos {
+		repos = append(repos, d.Repos[i].Name)
+	}
+	srv := newLoopback(b, reg)
+	defer srv.close()
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := blobstore.NewMemory()
+			dl := &downloader.Downloader{Client: &registry.Client{Base: srv.url}, Workers: 8, Store: sink}
+			res, err := dl.Run(repos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := analyzer.AnalyzeStore(sink, res.Images, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(res.Stats.Bytes)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink := blobstore.NewMemory()
+			dl := &downloader.Downloader{Client: &registry.Client{Base: srv.url}, Workers: 8, Store: sink}
+			res, err := pipeline.Run(context.Background(), dl, repos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ReWalked != 0 {
+				b.Fatalf("%d layers re-walked", res.ReWalked)
+			}
+			b.SetBytes(res.Download.Stats.Bytes)
+		}
+	})
 }

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/downloader"
+	"repro/internal/pipeline"
 	"repro/internal/registry"
 	"repro/internal/report"
 )
@@ -33,9 +35,12 @@ func main() {
 	reposPath := flag.String("repos", "-", "repository list file ('-' = stdin)")
 	out := flag.String("out", "", "output directory (required)")
 	workers := flag.Int("workers", 8, "concurrent image downloads")
+	layerWorkers := flag.Int("layer-workers", 0, "concurrent layer transfers across all images (0 = 2x workers)")
+	byteBudget := flag.Int64("byte-budget", 0, "max manifest-declared bytes in flight at once (0 = unlimited)")
 	token := flag.String("token", "", "bearer token for private repositories")
 	allTags := flag.Bool("all-tags", false, "download every tag instead of only latest")
 	retries := flag.Int("retries", 1, "extra attempts for transient failures")
+	fused := flag.Bool("fused", false, "analyze each layer as it streams off the wire and report the fused profile")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "download: -out is required")
@@ -52,16 +57,34 @@ func main() {
 	}
 
 	dl := &downloader.Downloader{
-		Client:  &registry.Client{Base: *regURL, Token: *token},
-		Workers: *workers,
-		Store:   store,
-		Retries: *retries,
+		Client:       &registry.Client{Base: *regURL, Token: *token},
+		Workers:      *workers,
+		LayerWorkers: *layerWorkers,
+		ByteBudget:   *byteBudget,
+		Store:        store,
+		Retries:      *retries,
 	}
 	start := time.Now()
 	var res *downloader.Result
-	if *allTags {
+	switch {
+	case *fused && *allTags:
+		fmt.Fprintln(os.Stderr, "download: -fused and -all-tags are mutually exclusive")
+		os.Exit(2)
+	case *fused:
+		fres, ferr := pipeline.Run(context.Background(), dl, repos)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		res = fres.Download
+		fmt.Printf("fused: %d layers walked inline, %d re-walked; download %s + assemble %s\n",
+			fres.WalkedInline, fres.ReWalked,
+			fres.DownloadWall.Round(time.Millisecond), fres.AssembleWall.Round(time.Millisecond))
+		a := fres.Analysis
+		fmt.Printf("fused: analyzed %d layers / %d images, %d file instances, dedup ratio %.2fx\n",
+			len(a.Layers), len(a.Images), a.Index.Instances(), a.Index.Ratios().CountRatio)
+	case *allTags:
 		res, err = dl.RunAllTags(repos)
-	} else {
+	default:
 		res, err = dl.Run(repos)
 	}
 	if err != nil {

@@ -32,6 +32,7 @@ func main() {
 	scale := flag.Float64("scale", 0.002, "dataset scale (1.0 = the paper's 457,627 repositories)")
 	seed := flag.Int64("seed", 0, "override dataset seed (0 = default)")
 	wire := flag.Bool("wire", false, "run the full HTTP pipeline over materialized tarballs")
+	fused := flag.Bool("fused", false, "fuse download+analysis into one streaming pass (requires -wire)")
 	workers := flag.Int("workers", 8, "pipeline parallelism")
 	markdown := flag.Bool("markdown", false, "emit EXPERIMENTS.md-style markdown")
 	cache := flag.Bool("cache", true, "run the registry cache simulation (future-work extension)")
@@ -40,12 +41,18 @@ func main() {
 	plots := flag.Bool("plots", false, "render ASCII CDF plots for the headline distributions")
 	flag.Parse()
 
+	if *fused && !*wire {
+		fmt.Fprintln(os.Stderr, "experiments: -fused requires -wire")
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	res, err := repro.Run(repro.Options{
 		Scale:   *scale,
 		Seed:    *seed,
 		Wire:    *wire,
 		Workers: *workers,
+		Fused:   *fused,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -55,6 +62,9 @@ func main() {
 	mode := "model"
 	if *wire {
 		mode = "wire"
+		if *fused {
+			mode = "wire+fused"
+		}
 	}
 	fmt.Printf("# Docker Hub dataset reproduction — mode=%s scale=%g (%s)\n",
 		mode, *scale, time.Since(start).Round(time.Millisecond))

@@ -189,11 +189,12 @@ func fillCrossDup(res *Result, layerKeys func(int32) []uint64) error {
 	return nil
 }
 
-// walkedLayer is the analysis of one real layer blob. files is sorted by
-// key after census ingestion (dedup.Index.ObserveLayer sorts in place),
-// which keeps downstream per-file iteration deterministic regardless of
-// walk scheduling.
-type walkedLayer struct {
+// WalkedLayer is the analysis of one real layer blob, produced by
+// WalkLayerReader and consumed by AnalyzeWalked/AnalyzeStore. files is
+// sorted by key after census ingestion (dedup.Index.ObserveLayer sorts in
+// place), which keeps downstream per-file iteration deterministic
+// regardless of walk scheduling.
+type WalkedLayer struct {
 	profile LayerProfile
 	files   []dedup.FileObs
 }
@@ -217,6 +218,22 @@ const uniqueFilesPerLayerHint = 96
 // drain is schedule-independent, so the Result is identical for every
 // worker count.
 func AnalyzeStore(store blobstore.Store, images []downloader.Image, workers int) (*Result, error) {
+	return analyze(store, images, nil, workers)
+}
+
+// AnalyzeWalked is AnalyzeStore for layers that were already walked while
+// they streamed off the wire (the fused pipeline): a layer present in
+// walked skips the store fetch and re-walk entirely; anything missing
+// (e.g. a tee attempt that failed and was re-fetched without the tee)
+// falls back to walking the store blob. The walked map is consumed — file
+// observations are sorted in place and Refs assigned — so it must not be
+// reused across calls. The result is bit-identical to AnalyzeStore over
+// the same store.
+func AnalyzeWalked(store blobstore.Store, images []downloader.Image, walked map[digest.Digest]*WalkedLayer, workers int) (*Result, error) {
+	return analyze(store, images, walked, workers)
+}
+
+func analyze(store blobstore.Store, images []downloader.Image, prewalked map[digest.Digest]*WalkedLayer, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -244,7 +261,7 @@ func AnalyzeStore(store blobstore.Store, images []downloader.Image, workers int)
 	res.Images = make([]ImageProfile, 0, len(sorted))
 
 	// Walk layers in parallel, streaming each straight into the census.
-	walked := make([]*walkedLayer, len(layerDigests))
+	walked := make([]*WalkedLayer, len(layerDigests))
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -277,10 +294,18 @@ func AnalyzeStore(store blobstore.Store, images []downloader.Image, workers int)
 					}
 					i = idx
 				}
-				wl, err := walkLayer(store, layerDigests[i])
-				if err != nil {
-					fail(fmt.Errorf("analyzer: layer %s: %w", layerDigests[i].Short(), err))
-					return
+				wl := prewalked[layerDigests[i]]
+				if wl == nil {
+					if store == nil {
+						fail(fmt.Errorf("analyzer: layer %s: not pre-walked and no store to fall back to", layerDigests[i].Short()))
+						return
+					}
+					var err error
+					wl, err = walkLayer(store, layerDigests[i])
+					if err != nil {
+						fail(fmt.Errorf("analyzer: layer %s: %w", layerDigests[i].Short(), err))
+						return
+					}
 				}
 				wl.profile.Refs = refs[i]
 				if err := res.Index.ObserveLayer(i, refs[i], wl.files); err != nil {
@@ -369,19 +394,57 @@ func AnalyzeStore(store blobstore.Store, images []downloader.Image, workers int)
 // resets one pooled hasher per file instead of allocating one.
 var hasherPool = sync.Pool{New: func() any { return digest.NewHasher() }}
 
-// walkLayer decompresses and walks one layer blob, producing its profile
-// and file observations. Like the paper's analyzer it traverses every
-// entry; unlike docker pull it never extracts to disk. The blob is fetched
-// exactly once: tarutil.WalkAuto sniffs the gzip magic through a buffered
-// reader, so plain-tar blobs need no re-fetch.
-func walkLayer(store blobstore.Store, ld digest.Digest) (*walkedLayer, error) {
-	rc, size, err := store.Get(ld)
+// walkLayer decompresses and walks one layer blob from the store. The blob
+// is fetched exactly once: tarutil.WalkAuto sniffs the gzip magic through a
+// buffered reader, so plain-tar blobs need no re-fetch.
+func walkLayer(store blobstore.Store, ld digest.Digest) (*WalkedLayer, error) {
+	rc, _, err := store.Get(ld)
 	if err != nil {
 		return nil, err
 	}
 	defer rc.Close()
+	return WalkLayerReader(ld, rc)
+}
 
-	wl := &walkedLayer{profile: LayerProfile{Digest: ld, CLS: size}}
+// countReader tracks the bytes consumed from the underlying stream; after
+// the post-walk drain its total is the compressed layer size (CLS).
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WalkLayerReader decompresses and walks one layer tarball as it streams
+// past, producing its profile and file observations. Like the paper's
+// analyzer it traverses every entry; unlike docker pull it never extracts
+// to disk. The stream is always consumed to its end, even on a walk error
+// — so when r is a tee of an in-flight download, the transfer never blocks
+// on an abandoned pipe and the stream's terminal verdict (the fetch error
+// that replaces io.EOF) surfaces here: a nil error means the walked bytes
+// were verified end to end.
+func WalkLayerReader(ld digest.Digest, r io.Reader) (*WalkedLayer, error) {
+	cr := &countReader{r: r}
+	wl, walkErr := walkReader(ld, cr)
+	// Drain: trailing bytes (tar padding the walker does not consume)
+	// complete the CLS count, and a teed stream reaches its verdict.
+	_, drainErr := io.Copy(io.Discard, cr)
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	if drainErr != nil {
+		return nil, drainErr
+	}
+	wl.profile.CLS = cr.n
+	return wl, nil
+}
+
+func walkReader(ld digest.Digest, rc io.Reader) (*WalkedLayer, error) {
+	wl := &WalkedLayer{profile: LayerProfile{Digest: ld}}
 	dirs := make(map[string]bool)
 	maxDepth := 0
 

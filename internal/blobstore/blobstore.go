@@ -35,6 +35,14 @@ type Store interface {
 	Put(content []byte) (digest.Digest, error)
 	// PutVerified stores content that must hash to want.
 	PutVerified(want digest.Digest, content []byte) error
+	// PutStream stores a blob that must hash to want, reading it
+	// incrementally from r: no backend buffers the whole blob beyond what
+	// storage itself requires (Memory keeps one copy because that IS the
+	// storage; Disk streams through the hasher into a temp file and renames
+	// into place on digest match). The stream is always consumed to EOF and
+	// verified, even when the blob is already present, so callers can hand
+	// over live network bodies. Returns the number of bytes read.
+	PutStream(want digest.Digest, r io.Reader) (int64, error)
 	// Get returns a reader over the blob and its size.
 	Get(d digest.Digest) (io.ReadCloser, int64, error)
 	// Stat returns the blob size, or ErrNotFound.
@@ -84,6 +92,71 @@ func (m *Memory) PutVerified(want digest.Digest, content []byte) error {
 	_, err := m.Put(content)
 	return err
 }
+
+// copyBufPool recycles the chunk buffers used by streaming ingest, so the
+// per-blob allocation cost on the download hot path is independent of blob
+// size (the acceptance bar for the zero-buffer path).
+var copyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 64<<10)
+	return &b
+}}
+
+// onlyWriter hides optional interfaces (ReaderFrom in particular) so
+// io.CopyBuffer actually uses the pooled buffer instead of letting
+// *os.File allocate its own.
+type onlyWriter struct{ w io.Writer }
+
+func (o onlyWriter) Write(p []byte) (int, error) { return o.w.Write(p) }
+
+// drainVerify consumes r to EOF through a hasher and checks the digest —
+// the ingest path for blobs that are already stored, where content
+// addressing makes a second copy pointless but the caller's stream (often a
+// live HTTP body) still has to be consumed and integrity-checked.
+func drainVerify(want digest.Digest, r io.Reader) (int64, error) {
+	h := digest.NewHasher()
+	bp := copyBufPool.Get().(*[]byte)
+	n, err := io.CopyBuffer(h, r, *bp)
+	copyBufPool.Put(bp)
+	if err != nil {
+		return n, fmt.Errorf("blobstore: reading stream: %w", err)
+	}
+	if got := h.Digest(); got != want {
+		return n, fmt.Errorf("%w: want %s, got %s", ErrDigestMismatch, want.Short(), got.Short())
+	}
+	return n, nil
+}
+
+// PutStream implements Store. The incoming bytes are accumulated in a
+// pooled scratch buffer while hashing, so repeated ingests reuse growth;
+// only the final stored copy is allocated at exact size.
+func (m *Memory) PutStream(want digest.Digest, r io.Reader) (int64, error) {
+	if m.Has(want) {
+		return drainVerify(want, r)
+	}
+	buf := memBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		memBufPool.Put(buf)
+	}()
+	h := digest.NewHasher()
+	n, err := buf.ReadFrom(io.TeeReader(r, h))
+	if err != nil {
+		return n, fmt.Errorf("blobstore: reading stream: %w", err)
+	}
+	if got := h.Digest(); got != want {
+		return n, fmt.Errorf("%w: want %s, got %s", ErrDigestMismatch, want.Short(), got.Short())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.blobs[want]; !ok {
+		m.blobs[want] = append([]byte(nil), buf.Bytes()...)
+		m.bytes += n
+	}
+	return n, nil
+}
+
+// memBufPool recycles the scratch buffers PutStream accumulates into.
+var memBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // memReader is a no-op-close reader over one blob. Returning it directly
 // halves Get's allocations versus io.NopCloser(bytes.NewReader(b)), which
@@ -252,6 +325,59 @@ func (d *Disk) PutVerified(want digest.Digest, content []byte) error {
 	}
 	_, err := d.Put(content)
 	return err
+}
+
+// PutStream implements Store: bytes stream through the SHA-256 hasher into
+// a uniquely named temp file that is renamed into place only on digest
+// match, so no full-blob []byte ever materializes and a crash can never
+// publish a half-written or corrupt blob. Concurrent ingests of the same
+// digest are safe: each writes its own temp file and the rename is atomic.
+func (d *Disk) PutStream(want digest.Digest, r io.Reader) (int64, error) {
+	if d.Has(want) {
+		return drainVerify(want, r)
+	}
+	p := d.path(want)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return 0, fmt.Errorf("blobstore: creating shard: %w", err)
+	}
+	f, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("blobstore: creating temp blob: %w", err)
+	}
+	tmp := f.Name()
+	h := digest.NewHasher()
+	bp := copyBufPool.Get().(*[]byte)
+	n, err := io.CopyBuffer(onlyWriter{f}, io.TeeReader(r, h), *bp)
+	copyBufPool.Put(bp)
+	if err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+		err = fmt.Errorf("blobstore: streaming blob: %w", err)
+	}
+	if err == nil {
+		if got := h.Digest(); got != want {
+			err = fmt.Errorf("%w: want %s, got %s", ErrDigestMismatch, want.Short(), got.Short())
+		}
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return n, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.sizes[want]; ok {
+		// A concurrent ingest of the same content won the race.
+		os.Remove(tmp)
+		return n, nil
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return n, fmt.Errorf("blobstore: committing blob: %w", err)
+	}
+	d.sizes[want] = n
+	d.bytes += n
+	return n, nil
 }
 
 // Get implements Store.

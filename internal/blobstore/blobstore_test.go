@@ -1,8 +1,13 @@
 package blobstore
 
 import (
+	"bytes"
 	"errors"
 	"io"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -261,5 +266,178 @@ func BenchmarkMemoryPut(b *testing.B) {
 		content[1] = byte(i >> 8)
 		content[2] = byte(i >> 16)
 		s.Put(content)
+	}
+}
+
+// errAfterReader yields n bytes of src then fails with errBroken.
+type errAfterReader struct {
+	src io.Reader
+	n   int
+}
+
+var errBroken = errors.New("stream broke")
+
+func (e *errAfterReader) Read(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, errBroken
+	}
+	if len(p) > e.n {
+		p = p[:e.n]
+	}
+	n, err := e.src.Read(p)
+	e.n -= n
+	return n, err
+}
+
+func TestPutStreamRoundTrip(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			content := bytes.Repeat([]byte("streamed layer bytes "), 10_000)
+			want := digest.FromBytes(content)
+			n, err := s.PutStream(want, bytes.NewReader(content))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(len(content)) {
+				t.Fatalf("PutStream read %d bytes, want %d", n, len(content))
+			}
+			rc, size, err := s.Get(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rc.Close()
+			got, err := io.ReadAll(rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if size != int64(len(content)) || !bytes.Equal(got, content) {
+				t.Fatal("streamed blob does not round-trip")
+			}
+			if s.TotalBytes() != int64(len(content)) {
+				t.Fatalf("TotalBytes = %d, want %d", s.TotalBytes(), len(content))
+			}
+		})
+	}
+}
+
+func TestPutStreamMismatch(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			want := digest.FromBytes([]byte("the real content"))
+			if _, err := s.PutStream(want, bytes.NewReader([]byte("imposter bytes"))); !errors.Is(err, ErrDigestMismatch) {
+				t.Fatalf("err = %v, want ErrDigestMismatch", err)
+			}
+			if s.Has(want) || s.Len() != 0 {
+				t.Fatal("mismatched stream was stored")
+			}
+		})
+	}
+}
+
+func TestPutStreamMidStreamError(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			content := bytes.Repeat([]byte("x"), 50_000)
+			want := digest.FromBytes(content)
+			r := &errAfterReader{src: bytes.NewReader(content), n: 10_000}
+			if _, err := s.PutStream(want, r); !errors.Is(err, errBroken) {
+				t.Fatalf("err = %v, want wrapped errBroken", err)
+			}
+			if s.Has(want) || s.Len() != 0 {
+				t.Fatal("truncated stream was stored")
+			}
+		})
+	}
+}
+
+// A stream for an already-present blob must still be consumed to EOF and
+// verified, so callers can hand over live HTTP bodies unconditionally.
+func TestPutStreamExistingBlobDrains(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			content := []byte("shared layer")
+			want, err := s.Put(content)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := bytes.NewReader(content)
+			n, err := s.PutStream(want, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(len(content)) || r.Len() != 0 {
+				t.Fatalf("existing-blob stream not drained: n=%d, %d bytes left", n, r.Len())
+			}
+			if _, err := s.PutStream(want, bytes.NewReader([]byte("corrupt"))); !errors.Is(err, ErrDigestMismatch) {
+				t.Fatalf("existing-blob corrupt stream: err = %v, want ErrDigestMismatch", err)
+			}
+			if s.Len() != 1 || s.TotalBytes() != int64(len(content)) {
+				t.Fatal("redundant ingest changed accounting")
+			}
+		})
+	}
+}
+
+func TestPutStreamConcurrentSameDigest(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			content := bytes.Repeat([]byte("contended blob "), 5_000)
+			want := digest.FromBytes(content)
+			var wg sync.WaitGroup
+			errs := make([]error, 8)
+			for i := range errs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, errs[i] = s.PutStream(want, bytes.NewReader(content))
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if s.Len() != 1 || s.TotalBytes() != int64(len(content)) {
+				t.Fatalf("concurrent ingest stored %d blobs / %d bytes", s.Len(), s.TotalBytes())
+			}
+		})
+	}
+}
+
+// No stray temp files may survive a streaming ingest, failed or not.
+func TestDiskPutStreamLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("b"), 10_000)
+	want := digest.FromBytes(content)
+	if _, err := d.PutStream(want, bytes.NewReader(content)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PutStream(digest.FromBytes([]byte("other")), bytes.NewReader(content)); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := d.PutStream(digest.FromBytes([]byte("broke")), &errAfterReader{src: bytes.NewReader(content), n: 100}); err == nil {
+		t.Fatal("broken stream accepted")
+	}
+	err = filepath.WalkDir(dir, func(path string, de fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() && strings.Contains(de.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/dedup"
 	"repro/internal/downloader"
 	"repro/internal/hubapi"
+	"repro/internal/pipeline"
 	"repro/internal/registry"
 	"repro/internal/report"
 	"repro/internal/synth"
@@ -42,6 +44,10 @@ type Study struct {
 	// dedup-growth curve (default 4 plus the full dataset, like the
 	// paper). 0 keeps the default; negative disables the growth analysis.
 	GrowthSamples int
+	// Fused runs download and analysis as one fused pass (wire mode only):
+	// every layer is walked while it streams off the wire instead of in a
+	// second pass over the store.
+	Fused bool
 }
 
 // Result is everything a study produces.
@@ -137,14 +143,25 @@ func (s *Study) runWireAgainst(d *synth.Dataset, reg *registry.Registry,
 		Workers: s.workers(),
 		Store:   sink,
 	}
-	dlRes, err := dl.Run(crawlRes.Repos)
-	if err != nil {
-		return nil, fmt.Errorf("core: downloading: %w", err)
-	}
 
-	analysis, err := analyzer.AnalyzeStore(sink, dlRes.Images, s.workers())
-	if err != nil {
-		return nil, fmt.Errorf("core: analyzing store: %w", err)
+	var dlRes *downloader.Result
+	var analysis *analyzer.Result
+	if s.Fused {
+		fres, err := pipeline.Run(context.Background(), dl, crawlRes.Repos)
+		if err != nil {
+			return nil, fmt.Errorf("core: fused download+analyze: %w", err)
+		}
+		dlRes, analysis = fres.Download, fres.Analysis
+	} else {
+		var err error
+		dlRes, err = dl.Run(crawlRes.Repos)
+		if err != nil {
+			return nil, fmt.Errorf("core: downloading: %w", err)
+		}
+		analysis, err = analyzer.AnalyzeStore(sink, dlRes.Images, s.workers())
+		if err != nil {
+			return nil, fmt.Errorf("core: analyzing store: %w", err)
+		}
 	}
 
 	res := &Result{

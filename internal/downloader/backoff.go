@@ -1,0 +1,81 @@
+package downloader
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays. The zero value uses
+// the defaults noted on each field; a crawl that hammers a throttling
+// registry in a tight loop only makes the throttling worse, so retries
+// spread out instead.
+type Backoff struct {
+	// Base is the first delay (50ms when 0; negative disables delays).
+	Base time.Duration
+	// Max caps the exponential growth (5s when 0).
+	Max time.Duration
+	// Jitter in (0, 1] scales each delay uniformly down by up to this
+	// fraction, decorrelating clients that fail in lockstep (0.5 when 0).
+	Jitter float64
+}
+
+// Delay returns the pause before retry `attempt` (1-based). rnd supplies
+// uniform randomness in [0, 1); nil uses the global source.
+func (b Backoff) Delay(attempt int, rnd func() float64) time.Duration {
+	base := b.Base
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = 50 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if base > max {
+		base = max
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			d = max
+			break
+		}
+	}
+	jitter := b.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter < 0 || jitter > 1 {
+		jitter = 0.5
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	// Uniform in [(1-jitter)·d, d].
+	return time.Duration(float64(d) * (1 - jitter*rnd()))
+}
+
+// sleep pauses for d or until ctx is done, whichever comes first. It is a
+// variable so tests can substitute a fake clock.
+var sleepCtx = func(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,145 @@
+package downloader
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	noJitter := func() float64 { return 0 } // upper edge of the jitter band
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1
+		200 * time.Millisecond, // attempt 2
+		400 * time.Millisecond, // attempt 3
+		800 * time.Millisecond, // attempt 4
+		time.Second,            // attempt 5: capped
+		time.Second,            // attempt 6: stays capped
+	}
+	for i, w := range want {
+		if got := b.Delay(i+1, noJitter); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBand(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	// rnd=1 hits the bottom of the band, rnd=0 the top.
+	if got := b.Delay(1, func() float64 { return 1 }); got != 50*time.Millisecond {
+		t.Errorf("full jitter: %v, want 50ms", got)
+	}
+	if got := b.Delay(1, func() float64 { return 0 }); got != 100*time.Millisecond {
+		t.Errorf("zero jitter draw: %v, want 100ms", got)
+	}
+	// Defaults: 50ms base, 0.5 jitter.
+	var zero Backoff
+	if got := zero.Delay(1, func() float64 { return 0 }); got != 50*time.Millisecond {
+		t.Errorf("default base: %v, want 50ms", got)
+	}
+	// Negative base disables delays entirely.
+	if got := (Backoff{Base: -1}).Delay(3, nil); got != 0 {
+		t.Errorf("disabled backoff slept %v", got)
+	}
+}
+
+// failingServer always answers 500 — a retryable error class for both
+// manifest and blob fetches.
+func failingServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		http.Error(w, "synthetic outage", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRetrySleepsBackoffSchedule drives a real download against an
+// always-failing registry with a fake clock and asserts the retry loop
+// slept exactly the exponential schedule.
+func TestRetrySleepsBackoffSchedule(t *testing.T) {
+	fail := failingServer(t)
+	var mu sync.Mutex
+	var slept []time.Duration
+	dl := &Downloader{
+		Client:  &registry.Client{Base: fail.URL},
+		Workers: 1,
+		Retries: 3,
+		Backoff: Backoff{Base: 100 * time.Millisecond, Max: time.Second},
+		sleep: func(ctx context.Context, d time.Duration) error {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+			return nil
+		},
+		rnd: func() float64 { return 0 }, // deterministic: top of the jitter band
+	}
+	res, err := dl.Run([]string{"some/repo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OtherFailures != 1 {
+		t.Fatalf("OtherFailures = %d, want 1", res.Stats.OtherFailures)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full: %v)", i, slept[i], want[i], slept)
+		}
+	}
+}
+
+// TestBackoffSleepContextCancel verifies the real sleep aborts promptly
+// when the context is cancelled mid-delay.
+func TestBackoffSleepContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- sleepCtx(ctx, 10*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("sleep did not abort on cancellation")
+	}
+}
+
+// TestRetryLoopRespectsCancelledContext: a cancelled context stops the
+// retry loop at the first backoff sleep instead of burning all attempts.
+func TestRetryLoopRespectsCancelledContext(t *testing.T) {
+	fail := failingServer(t)
+	var sleeps atomic.Int64
+	dl := &Downloader{
+		Client:  &registry.Client{Base: fail.URL},
+		Workers: 1,
+		Retries: 5,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			sleeps.Add(1)
+			return context.Canceled
+		},
+	}
+	res, err := dl.RunContext(context.Background(), []string{"some/repo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OtherFailures != 1 {
+		t.Fatalf("OtherFailures = %d, want 1", res.Stats.OtherFailures)
+	}
+	if sleeps.Load() != 1 {
+		t.Fatalf("retry loop slept %d times after abort, want 1", sleeps.Load())
+	}
+}

@@ -2,14 +2,17 @@ package downloader
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/blobstore"
 	"repro/internal/digest"
+	"repro/internal/manifest"
 	"repro/internal/registry"
 	"repro/internal/synth"
 )
@@ -159,5 +162,95 @@ func TestDownloadRetriesTransientFailures(t *testing.T) {
 	}
 	if res2.Stats.UniqueLayers != len(d.Layers) {
 		t.Fatalf("with retries: %d unique layers, want %d", res2.Stats.UniqueLayers, len(d.Layers))
+	}
+}
+
+// holeStore corrupts the FIRST read of one chosen blob (same length, wrong
+// bytes — a digest mismatch at EOF, which is not resumable mid-stream) and
+// serves it intact afterwards.
+type holeStore struct {
+	blobstore.Store
+	target  digest.Digest
+	tripped atomic.Bool
+}
+
+func (h *holeStore) Get(d digest.Digest) (io.ReadCloser, int64, error) {
+	rc, size, err := h.Store.Get(d)
+	if err != nil || d != h.target || !h.tripped.CompareAndSwap(false, true) {
+		return rc, size, err
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Let the loser of the claim race arrive while the fetch is still in
+	// flight, so the singleflight wait path actually runs.
+	time.Sleep(30 * time.Millisecond)
+	garbage := bytes.Repeat([]byte{0xAB}, len(data))
+	return io.NopCloser(bytes.NewReader(garbage)), size, nil
+}
+
+// TestSharedLayerClaimHole is the regression test for the claim-map hole:
+// two images share a layer; the first claimant's fetch fails. Under the
+// old claim map the second image had already "skipped" the layer, so it
+// never landed in the store. Singleflight semantics make the waiter observe
+// the failure and take over the fetch.
+func TestSharedLayerClaimHole(t *testing.T) {
+	inner := blobstore.NewMemory()
+	layer := []byte("shared layer content for the claim hole regression test")
+	hs := &holeStore{Store: inner}
+	reg := registry.New(hs)
+	layerDg, err := reg.PushBlob(layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs.target = layerDg
+	layerDesc := manifest.Descriptor{
+		MediaType: manifest.MediaTypeLayer, Size: int64(len(layer)), Digest: layerDg,
+	}
+	for i, name := range []string{"hole/one", "hole/two"} {
+		cfg := []byte(fmt.Sprintf(`{"architecture":"amd64","os":"linux","n":%d}`, i))
+		cfgDg, err := reg.PushBlob(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := manifest.New(manifest.Descriptor{
+			MediaType: manifest.MediaTypeConfig, Size: int64(len(cfg)), Digest: cfgDg,
+		}, []manifest.Descriptor{layerDesc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.CreateRepo(name, false)
+		if _, err := reg.PushManifest(name, "latest", m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(reg)
+	defer srv.Close()
+	sink := blobstore.NewMemory()
+	// Retries:0 — only the takeover path, not the retry loop, can save the
+	// second image.
+	dl := &Downloader{Client: &registry.Client{Base: srv.URL}, Workers: 2, Store: sink}
+	res, err := dl.Run([]string{"hole/one", "hole/two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !sink.Has(layerDg) {
+		t.Fatal("shared layer missing from store: claim hole is back")
+	}
+	if res.Stats.Downloaded != 2 {
+		t.Fatalf("Downloaded = %d, want 2", res.Stats.Downloaded)
+	}
+	if res.Stats.OtherFailures != 1 {
+		t.Fatalf("OtherFailures = %d, want 1 (the first claimant)", res.Stats.OtherFailures)
+	}
+	if res.Stats.UniqueLayers != 1 {
+		t.Fatalf("UniqueLayers = %d, want 1", res.Stats.UniqueLayers)
+	}
+	if res.Stats.SkippedLayers != 0 {
+		t.Fatalf("SkippedLayers = %d, want 0 (the waiter took over, it did not skip)", res.Stats.SkippedLayers)
 	}
 }

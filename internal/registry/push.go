@@ -1,12 +1,14 @@
 package registry
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
 
+	"repro/internal/blobstore"
 	"repro/internal/digest"
 	"repro/internal/manifest"
 )
@@ -69,13 +71,15 @@ func (r *Registry) serveBlobUpload(w http.ResponseWriter, req *http.Request, nam
 			"monolithic upload requires a valid ?digest= parameter")
 		return
 	}
-	content, err := io.ReadAll(io.LimitReader(req.Body, maxBlobSize))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "BLOB_UPLOAD_INVALID", "reading upload body")
-		return
-	}
-	if err := r.blobs.PutVerified(want, content); err != nil {
-		writeError(w, http.StatusBadRequest, "DIGEST_INVALID", "content does not match digest")
+	// Stream the upload straight into the store: bytes hash on the way to
+	// disk and no full-blob buffer materializes server-side. Oversized
+	// bodies are truncated by the limit and then rejected by the digest.
+	if _, err := r.blobs.PutStream(want, io.LimitReader(req.Body, maxBlobSize)); err != nil {
+		if errors.Is(err, blobstore.ErrDigestMismatch) {
+			writeError(w, http.StatusBadRequest, "DIGEST_INVALID", "content does not match digest")
+		} else {
+			writeError(w, http.StatusBadRequest, "BLOB_UPLOAD_INVALID", "reading upload body")
+		}
 		return
 	}
 	r.blobPushes.Add(1)

@@ -50,6 +50,11 @@ type Options struct {
 	// GrowthSamples controls the Fig. 25 dedup-growth curve: 0 = default
 	// (4 nested samples plus the full dataset), negative = skip.
 	GrowthSamples int
+	// Fused fuses download and analysis into one streaming pass (wire mode
+	// only): layers are walked as they cross the wire instead of in a
+	// second pass over the store. Results are identical to the two-phase
+	// pipeline.
+	Fused bool
 }
 
 // Result re-exports the study outcome.
@@ -79,6 +84,7 @@ func Run(opts Options) (*Result, error) {
 		Spec:          spec,
 		Workers:       opts.Workers,
 		GrowthSamples: opts.GrowthSamples,
+		Fused:         opts.Fused,
 	}
 	if opts.Wire {
 		return study.RunWire()
