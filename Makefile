@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-scaling bench-smoke ci
+.PHONY: all build vet lint test race bench bench-scaling bench-smoke ci
 
 all: build
 
@@ -14,13 +14,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static hygiene: vet plus a gofmt check that fails loudly on any
+# unformatted file instead of silently printing names.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # Race-check the packages with concurrent machinery. Kept narrower than
 # ./... so the gate stays fast enough to run on every change.
 race:
-	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/downloader ./internal/registry ./internal/pipeline
+	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/downloader ./internal/registry ./internal/pipeline ./internal/engine ./internal/serve
 
 # Full benchmark sweep (slow).
 bench:
@@ -37,4 +45,4 @@ bench-scaling:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'DownloadStreaming|FusedPipeline' -benchtime=1x -benchmem .
 
-ci: vet test race bench-smoke
+ci: lint test race bench-smoke

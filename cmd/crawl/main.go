@@ -10,9 +10,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/crawler"
@@ -30,8 +33,12 @@ func main() {
 		Workers:  *workers,
 		PageSize: *pageSize,
 	}
+	// SIGINT/SIGTERM cancels the crawl cleanly instead of killing it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	res, err := c.Run()
+	res, err := c.RunContext(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crawl:", err)
 		os.Exit(1)

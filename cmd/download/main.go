@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/blobstore"
@@ -64,6 +66,10 @@ func main() {
 		Store:        store,
 		Retries:      *retries,
 	}
+	// SIGINT/SIGTERM aborts in-flight transfers cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
 	var res *downloader.Result
 	switch {
@@ -71,7 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "download: -fused and -all-tags are mutually exclusive")
 		os.Exit(2)
 	case *fused:
-		fres, ferr := pipeline.Run(context.Background(), dl, repos)
+		fres, ferr := pipeline.Run(ctx, dl, repos)
 		if ferr != nil {
 			fatal(ferr)
 		}
@@ -83,9 +89,9 @@ func main() {
 		fmt.Printf("fused: analyzed %d layers / %d images, %d file instances, dedup ratio %.2fx\n",
 			len(a.Layers), len(a.Images), a.Index.Instances(), a.Index.Ratios().CountRatio)
 	case *allTags:
-		res, err = dl.RunAllTags(repos)
+		res, err = dl.RunAllTagsContext(ctx, repos)
 	default:
-		res, err = dl.Run(repos)
+		res, err = dl.RunContext(ctx, repos)
 	}
 	if err != nil {
 		fatal(err)

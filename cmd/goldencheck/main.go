@@ -1,0 +1,72 @@
+// Command goldencheck fingerprints a reproduction run: for every requested
+// (mode, workers) combination it executes the full study at a fixed seed
+// and prints a SHA-256 over the rendered figures. Identical fingerprints
+// across worker counts and across code versions certify that refactors of
+// the orchestration layer left the science bit-identical.
+//
+// Usage:
+//
+//	goldencheck [-scale 0.0001] [-model-scale 0.0002] [-seed 0] [-workers 1,4,8]
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.0001, "wire/fused dataset scale")
+	modelScale := flag.Float64("model-scale", 0.0002, "model dataset scale")
+	seed := flag.Int64("seed", 0, "dataset seed override (0 = spec default)")
+	workersList := flag.String("workers", "1,4,8", "comma-separated worker counts")
+	flag.Parse()
+
+	var workers []int
+	for _, tok := range strings.Split(*workersList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "goldencheck: bad -workers entry %q\n", tok)
+			os.Exit(2)
+		}
+		workers = append(workers, n)
+	}
+
+	modes := []struct {
+		name  string
+		wire  bool
+		fused bool
+		scale float64
+	}{
+		{"model", false, false, *modelScale},
+		{"wire", true, false, *scale},
+		{"fused", true, true, *scale},
+	}
+
+	for _, mode := range modes {
+		for _, w := range workers {
+			res, err := repro.Run(repro.Options{
+				Scale:   mode.scale,
+				Seed:    *seed,
+				Wire:    mode.wire,
+				Fused:   mode.fused,
+				Workers: w,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "goldencheck: %s w=%d: %v\n", mode.name, w, err)
+				os.Exit(1)
+			}
+			h := sha256.New()
+			for _, fig := range res.Figures {
+				fmt.Fprintln(h, fig.String())
+			}
+			fmt.Printf("%-6s workers=%d figures=%d sha256=%x\n",
+				mode.name, w, len(res.Figures), h.Sum(nil))
+		}
+	}
+}

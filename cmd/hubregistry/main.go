@@ -3,28 +3,39 @@
 // another (they are distinct hosts in the real ecosystem and their URL
 // spaces collide under /v2/).
 //
+// Both services run on the serve chassis: panic recovery, an optional
+// max-in-flight admission limit, and graceful shutdown — SIGINT/SIGTERM
+// drains in-flight requests for up to -drain before the listeners close.
+//
 // Usage:
 //
 //	hubregistry -data ./hub [-addr :5000] [-search-addr :5001]
+//	            [-max-inflight 0] [-drain 10s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/hubapi"
 	"repro/internal/registry"
+	"repro/internal/serve"
 )
 
 func main() {
 	data := flag.String("data", "", "hub directory created by hubgen (required)")
 	addr := flag.String("addr", ":5000", "registry listen address")
 	searchAddr := flag.String("search-addr", ":5001", "search API listen address")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests per service (0 = unlimited)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "hubregistry: -data is required")
@@ -45,13 +56,32 @@ func main() {
 	}
 	search := hubapi.NewServer(st.Repos, 634412.0/457627.0, st.Seed, 0)
 
-	fmt.Printf("hubregistry: %d repos, %d blobs; registry on %s, search on %s\n",
-		len(st.Repos), store.Len(), *addr, *searchAddr)
+	group := &serve.Group{}
+	regSrv := &serve.Server{
+		Name: "registry", Addr: *addr, Handler: reg,
+		MaxInFlight: *maxInFlight, DrainTimeout: *drain,
+	}
+	searchSrv := &serve.Server{
+		Name: "search", Addr: *searchAddr, Handler: search,
+		MaxInFlight: *maxInFlight, DrainTimeout: *drain,
+	}
+	if err := group.Start(regSrv); err != nil {
+		fatal(err)
+	}
+	if err := group.Start(searchSrv); err != nil {
+		group.Shutdown(context.Background())
+		fatal(err)
+	}
 
-	errc := make(chan error, 2)
-	go func() { errc <- http.ListenAndServe(*addr, reg) }()
-	go func() { errc <- http.ListenAndServe(*searchAddr, search) }()
-	fatal(<-errc)
+	fmt.Printf("hubregistry: %d repos, %d blobs; registry on %s, search on %s\n",
+		len(st.Repos), store.Len(), regSrv.URL(), searchSrv.URL())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := <-group.ShutdownOnDone(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Println("hubregistry: drained and stopped")
 }
 
 func fatal(err error) {

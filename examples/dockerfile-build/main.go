@@ -10,9 +10,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"net/http/httptest"
 
 	"repro/internal/analyzer"
 	"repro/internal/blobstore"
@@ -20,13 +20,17 @@ import (
 	"repro/internal/downloader"
 	"repro/internal/imagebuild"
 	"repro/internal/registry"
+	"repro/internal/serve"
 )
 
 func main() {
 	reg := registry.New(blobstore.NewMemory())
-	srv := httptest.NewServer(reg)
-	defer srv.Close()
-	client := &registry.Client{Base: srv.URL}
+	srv := &serve.Server{Name: "registry", Handler: reg}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	client := &registry.Client{Base: srv.URL()}
 	builder := &imagebuild.Builder{Resolver: imagebuild.ClientResolver(client)}
 
 	// Two base images (think debian and alpine) so no single base layer

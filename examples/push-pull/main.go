@@ -6,9 +6,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
-	"net/http/httptest"
 
 	"repro/internal/analyzer"
 	"repro/internal/blobstore"
@@ -16,15 +16,19 @@ import (
 	"repro/internal/manifest"
 	"repro/internal/registry"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/tarutil"
 )
 
 func main() {
 	reg := registry.New(blobstore.NewMemory())
 	reg.CreateRepo("demo/app", false)
-	srv := httptest.NewServer(reg)
-	defer srv.Close()
-	client := &registry.Client{Base: srv.URL}
+	srv := &serve.Server{Name: "registry", Handler: reg}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	client := &registry.Client{Base: srv.URL()}
 
 	// --- build: a layer tarball, the way docker build would.
 	var layer bytes.Buffer

@@ -15,6 +15,7 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -218,7 +219,13 @@ const uniqueFilesPerLayerHint = 96
 // drain is schedule-independent, so the Result is identical for every
 // worker count.
 func AnalyzeStore(store blobstore.Store, images []downloader.Image, workers int) (*Result, error) {
-	return analyze(store, images, nil, workers)
+	return analyze(context.Background(), store, images, nil, workers)
+}
+
+// AnalyzeStoreContext is AnalyzeStore with cancellation: when ctx is done,
+// in-flight layer walks wind down and the analysis returns ctx's error.
+func AnalyzeStoreContext(ctx context.Context, store blobstore.Store, images []downloader.Image, workers int) (*Result, error) {
+	return analyze(ctx, store, images, nil, workers)
 }
 
 // AnalyzeWalked is AnalyzeStore for layers that were already walked while
@@ -230,10 +237,15 @@ func AnalyzeStore(store blobstore.Store, images []downloader.Image, workers int)
 // reused across calls. The result is bit-identical to AnalyzeStore over
 // the same store.
 func AnalyzeWalked(store blobstore.Store, images []downloader.Image, walked map[digest.Digest]*WalkedLayer, workers int) (*Result, error) {
-	return analyze(store, images, walked, workers)
+	return analyze(context.Background(), store, images, walked, workers)
 }
 
-func analyze(store blobstore.Store, images []downloader.Image, prewalked map[digest.Digest]*WalkedLayer, workers int) (*Result, error) {
+// AnalyzeWalkedContext is AnalyzeWalked with cancellation.
+func AnalyzeWalkedContext(ctx context.Context, store blobstore.Store, images []downloader.Image, walked map[digest.Digest]*WalkedLayer, workers int) (*Result, error) {
+	return analyze(ctx, store, images, walked, workers)
+}
+
+func analyze(ctx context.Context, store blobstore.Store, images []downloader.Image, prewalked map[digest.Digest]*WalkedLayer, workers int) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -288,6 +300,9 @@ func analyze(store blobstore.Store, images []downloader.Image, prewalked map[dig
 				select {
 				case <-quit:
 					return
+				case <-ctx.Done():
+					fail(ctx.Err())
+					return
 				case idx, ok := <-work:
 					if !ok {
 						return
@@ -328,6 +343,9 @@ func analyze(store blobstore.Store, images []downloader.Image, prewalked map[dig
 			select {
 			case work <- int32(i):
 			case <-quit:
+				return
+			case <-ctx.Done():
+				fail(ctx.Err())
 				return
 			}
 		}

@@ -3,30 +3,34 @@
 // assemble the figure source every table and figure of the paper derives
 // from.
 //
-// Two entry points mirror the two analysis paths:
+// A study is a stage graph executed by the engine runner over a shared
+// State — two entry points assemble the two analysis paths from one stage
+// set:
 //
-//   - RunModel: generate the synthetic Hub and profile it in model mode —
-//     the statistical reproduction path used at scale.
-//   - RunWire: additionally materialize real layer tarballs into an
-//     in-process registry, serve it and the Hub search API over loopback
-//     HTTP, crawl, download, and analyze the actual bytes — the full
-//     methodology reproduction (§III).
+//   - RunModel: generate → analyze → dedup-growth → report; the synthetic
+//     Hub is profiled in model mode, the statistical reproduction path
+//     used at scale.
+//   - RunWire: generate → materialize → serve → crawl → download →
+//     analyze → report; real layer tarballs are served from an in-process
+//     registry through the serve chassis and the actual bytes are
+//     crawled, downloaded, and analyzed — the full methodology
+//     reproduction (§III). Fused mode swaps the download and analyze
+//     stages for the single fused download+analyze stage.
+//
+// Both have Context variants; cancelling the context winds the run down
+// mid-stage and returns the context's error.
 package core
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
-	"net/http"
-	"net/http/httptest"
 
 	"repro/internal/analyzer"
-	"repro/internal/blobstore"
 	"repro/internal/crawler"
 	"repro/internal/dedup"
 	"repro/internal/downloader"
-	"repro/internal/hubapi"
-	"repro/internal/pipeline"
+	"repro/internal/engine"
 	"repro/internal/registry"
 	"repro/internal/report"
 	"repro/internal/synth"
@@ -38,7 +42,7 @@ type Study struct {
 	// for model runs, synth.MaterializeSpec(scale) for wire runs).
 	Spec synth.Spec
 	// Workers bounds pipeline parallelism (crawler pages, downloads,
-	// layer walks). Defaults to 8.
+	// layer walks). Non-positive resolves to engine.DefaultWorkers.
 	Workers int
 	// GrowthSamples is the number of nested layer samples for the Fig. 25
 	// dedup-growth curve (default 4 plus the full dataset, like the
@@ -57,128 +61,85 @@ type Result struct {
 	Source   *report.Source
 	Figures  []report.Figure
 
+	// Stages records each executed stage's wall time and outcome, in
+	// execution order.
+	Stages []engine.StageResult
+
 	// Wire-mode extras (nil in model mode).
 	Crawl    *crawler.Result
 	Download *downloader.Result
 	Registry *registry.Registry
 }
 
-func (s *Study) workers() int {
-	if s.Workers <= 0 {
-		return 8
-	}
-	return s.Workers
+// Env builds the study's shared run environment.
+func (s *Study) Env() *engine.Env {
+	return &engine.Env{Workers: s.Workers, Seed: s.Spec.Seed}
 }
 
 // RunModel generates the dataset and analyzes it in model mode.
 func (s *Study) RunModel() (*Result, error) {
-	d, err := synth.Generate(s.Spec)
-	if err != nil {
-		return nil, fmt.Errorf("core: generating dataset: %w", err)
-	}
-	analysis, err := analyzer.AnalyzeModel(d)
-	if err != nil {
-		return nil, fmt.Errorf("core: analyzing model: %w", err)
-	}
-	res := &Result{Dataset: d, Analysis: analysis}
-	res.Source = &report.Source{
-		Analysis: analysis,
-		Repos:    synth.Repositories(d),
-	}
+	return s.RunModelContext(context.Background())
+}
+
+// RunModelContext is RunModel with cancellation.
+func (s *Study) RunModelContext(ctx context.Context) (*Result, error) {
+	stages := []engine.Stage[*State]{stageGenerate, stageAnalyzeModel}
 	if s.GrowthSamples >= 0 {
-		n := s.GrowthSamples
-		if n == 0 {
-			n = 4
-		}
-		growth, err := DedupGrowth(d, n)
-		if err != nil {
-			return nil, fmt.Errorf("core: dedup growth: %w", err)
-		}
-		res.Source.Growth = growth
+		stages = append(stages, stageGrowth)
 	}
-	res.Figures = report.All(res.Source)
-	return res, nil
+	stages = append(stages, stageReport)
+	return s.run(ctx, stages)
 }
 
 // RunWire materializes the dataset into an in-process registry, serves the
-// registry and Hub search API over loopback HTTP, and runs the full crawl →
-// download → analyze pipeline against the wire.
+// registry and Hub search API through the serve chassis, and runs the full
+// crawl → download → analyze pipeline against the wire.
 func (s *Study) RunWire() (*Result, error) {
-	d, err := synth.Generate(s.Spec)
-	if err != nil {
-		return nil, fmt.Errorf("core: generating dataset: %w", err)
-	}
-
-	reg := registry.New(blobstore.NewMemory())
-	if _, err := synth.Materialize(d, reg); err != nil {
-		return nil, fmt.Errorf("core: materializing: %w", err)
-	}
-	regSrv := httptest.NewServer(reg)
-	defer regSrv.Close()
-
-	search := hubapi.NewServer(synth.Repositories(d), d.Spec.CrawlDupFactor, d.Spec.Seed, 0)
-	searchSrv := httptest.NewServer(search)
-	defer searchSrv.Close()
-
-	return s.runWireAgainst(d, reg, regSrv.Client(), regSrv.URL, searchSrv.URL)
+	return s.RunWireContext(context.Background())
 }
 
-// runWireAgainst executes the crawl/download/analyze pipeline against
-// already-running services.
-func (s *Study) runWireAgainst(d *synth.Dataset, reg *registry.Registry,
-	httpClient *http.Client, regURL, searchURL string) (*Result, error) {
-
-	cr := &crawler.Crawler{
-		Client:  &hubapi.Client{Base: searchURL, HTTP: httpClient},
-		Workers: s.workers(),
-	}
-	crawlRes, err := cr.Run()
-	if err != nil {
-		return nil, fmt.Errorf("core: crawling: %w", err)
-	}
-
-	sink := blobstore.NewMemory()
-	dl := &downloader.Downloader{
-		Client:  &registry.Client{Base: regURL, HTTP: httpClient},
-		Workers: s.workers(),
-		Store:   sink,
-	}
-
-	var dlRes *downloader.Result
-	var analysis *analyzer.Result
+// RunWireContext is RunWire with cancellation: when ctx is done, in-flight
+// transfers abort, the servers drain, and the run returns ctx's error.
+func (s *Study) RunWireContext(ctx context.Context) (*Result, error) {
+	stages := []engine.Stage[*State]{stageGenerate, stageMaterialize, stageServe, stageCrawl}
 	if s.Fused {
-		fres, err := pipeline.Run(context.Background(), dl, crawlRes.Repos)
-		if err != nil {
-			return nil, fmt.Errorf("core: fused download+analyze: %w", err)
-		}
-		dlRes, analysis = fres.Download, fres.Analysis
+		stages = append(stages, stageFused)
 	} else {
-		var err error
-		dlRes, err = dl.Run(crawlRes.Repos)
-		if err != nil {
-			return nil, fmt.Errorf("core: downloading: %w", err)
-		}
-		analysis, err = analyzer.AnalyzeStore(sink, dlRes.Images, s.workers())
-		if err != nil {
-			return nil, fmt.Errorf("core: analyzing store: %w", err)
-		}
+		stages = append(stages, stageDownload, stageAnalyze)
 	}
+	stages = append(stages, stageReport)
+	return s.run(ctx, stages)
+}
 
-	res := &Result{
-		Dataset:  d,
-		Analysis: analysis,
-		Crawl:    crawlRes,
-		Download: dlRes,
-		Registry: reg,
+// run executes a stage graph over fresh state and folds the state into a
+// Result. Servers the graph mounted are always shut down — drained
+// gracefully — whether the run succeeded, failed, or was cancelled.
+func (s *Study) run(ctx context.Context, stages []engine.Stage[*State]) (*Result, error) {
+	env := s.Env()
+	st := &State{Env: env, Spec: s.Spec, GrowthSamples: s.GrowthSamples}
+	runner := &engine.Runner[*State]{Env: env, Stages: stages}
+
+	stageResults, err := runner.Run(ctx, st)
+	if st.Servers != nil {
+		// Shutdown uses a fresh context: a cancelled run must still drain
+		// its servers under the drain timeout rather than skip the drain.
+		if serr := st.Servers.Shutdown(context.Background()); err == nil && serr != nil {
+			err = fmt.Errorf("core: shutting down servers: %w", serr)
+		}
 	}
-	res.Source = &report.Source{
-		Analysis: analysis,
-		Repos:    synth.Repositories(d),
-		Crawl:    crawlRes,
-		Download: &dlRes.Stats,
+	if err != nil {
+		return nil, err
 	}
-	res.Figures = report.All(res.Source)
-	return res, nil
+	return &Result{
+		Dataset:  st.Dataset,
+		Analysis: st.Analysis,
+		Source:   st.Source,
+		Figures:  st.Figures,
+		Stages:   stageResults,
+		Crawl:    st.Crawl,
+		Download: st.Download,
+		Registry: st.Registry,
+	}, nil
 }
 
 // DedupGrowth reproduces Fig. 25: dedup ratios over nested random layer

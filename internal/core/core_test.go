@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/synth"
 )
 
@@ -150,5 +154,145 @@ func TestDedupGrowthEmptyDataset(t *testing.T) {
 	growth, err := DedupGrowth(d, 4)
 	if err != nil || growth != nil {
 		t.Fatalf("empty dataset: %v %v", growth, err)
+	}
+}
+
+func TestStageResultsRecorded(t *testing.T) {
+	res, err := (&Study{Spec: synth.DefaultSpec(0.0002)}).RunModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"generate", "analyze", "dedup-growth", "report"}
+	if len(res.Stages) != len(want) {
+		t.Fatalf("model stages = %v, want %v", stageNames(res.Stages), want)
+	}
+	for i, sr := range res.Stages {
+		if sr.Name != want[i] {
+			t.Errorf("stage[%d] = %s, want %s", i, sr.Name, want[i])
+		}
+		if sr.Err != nil {
+			t.Errorf("stage %s failed: %v", sr.Name, sr.Err)
+		}
+		if sr.Wall < 0 {
+			t.Errorf("stage %s wall time negative: %v", sr.Name, sr.Wall)
+		}
+	}
+
+	wire, err := (&Study{Spec: synth.MaterializeSpec(0.0001), Workers: 4}).RunWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWire := []string{"generate", "materialize", "serve", "crawl", "download", "analyze", "report"}
+	if got := stageNames(wire.Stages); !equalStrings(got, wantWire) {
+		t.Fatalf("wire stages = %v, want %v", got, wantWire)
+	}
+
+	fused, err := (&Study{Spec: synth.MaterializeSpec(0.0001), Workers: 4, Fused: true}).RunWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFused := []string{"generate", "materialize", "serve", "crawl", "download+analyze", "report"}
+	if got := stageNames(fused.Stages); !equalStrings(got, wantFused) {
+		t.Fatalf("fused stages = %v, want %v", got, wantFused)
+	}
+}
+
+func stageNames(srs []engine.StageResult) []string {
+	names := make([]string, len(srs))
+	for i, sr := range srs {
+		names[i] = sr.Name
+	}
+	return names
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWireFiguresWorkerInvariant: the rendered figures are bit-identical
+// at every worker count — the stage refactor must not let scheduling leak
+// into the science.
+func TestWireFiguresWorkerInvariant(t *testing.T) {
+	spec := synth.MaterializeSpec(0.0001)
+	render := func(workers int, fused bool) string {
+		res, err := (&Study{Spec: spec, Workers: workers, Fused: fused}).RunWire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, f := range res.Figures {
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	base := render(1, false)
+	for _, workers := range []int{4, 8} {
+		if got := render(workers, false); got != base {
+			t.Errorf("wire figures differ between 1 and %d workers", workers)
+		}
+	}
+	if got := render(4, true); got != base {
+		t.Error("fused figures differ from two-phase figures")
+	}
+}
+
+// TestRunCancelledMidRun: cancelling between stages aborts the graph with
+// the context's error, runs nothing further, and still tears the servers
+// down. The cancel stage fires after crawl, so the download stage sees a
+// dead context.
+func TestRunCancelledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s := &Study{Spec: synth.MaterializeSpec(0.0001), Workers: 4}
+	env := s.Env()
+	st := &State{Env: env, Spec: s.Spec}
+	runner := &engine.Runner[*State]{Env: env, Stages: []engine.Stage[*State]{
+		stageGenerate, stageMaterialize, stageServe, stageCrawl,
+		engine.NewStage("cancel", func(ctx context.Context, st *State) error {
+			cancel()
+			return nil
+		}),
+		stageDownload, stageAnalyze, stageReport,
+	}}
+
+	start := time.Now()
+	results, err := runner.Run(ctx, st)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	for _, sr := range results {
+		if sr.Name == "download" || sr.Name == "analyze" || sr.Name == "report" {
+			t.Errorf("stage %s ran despite cancellation", sr.Name)
+		}
+	}
+	if st.Servers == nil {
+		t.Fatal("serve stage never ran")
+	}
+	if err := st.Servers.Shutdown(context.Background()); err != nil {
+		t.Fatalf("server drain after cancellation: %v", err)
+	}
+}
+
+// TestRunWireContextPreCancelled: the public entry point returns the
+// context error without doing any work.
+func TestRunWireContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := (&Study{Spec: synth.MaterializeSpec(0.0001)}).RunWireContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

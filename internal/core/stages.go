@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro/internal/analyzer"
+	"repro/internal/blobstore"
+	"repro/internal/crawler"
+	"repro/internal/downloader"
+	"repro/internal/engine"
+	"repro/internal/hubapi"
+	"repro/internal/pipeline"
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// State is the shared run state the stage graph mutates: each stage reads
+// what earlier stages produced and fills in its own outputs. Model, wire,
+// and fused runs are different graphs over this one state type.
+type State struct {
+	// Env is the shared run environment (workers, seed, limits).
+	Env *engine.Env
+
+	// Inputs, set by Study before the run.
+	Spec          synth.Spec
+	GrowthSamples int
+
+	// Dataset is the generated synthetic Hub (stage generate).
+	Dataset *synth.Dataset
+	// Registry holds the materialized image population (stage materialize).
+	Registry *registry.Registry
+	// Servers owns the mounted HTTP services (stage serve); HTTP,
+	// RegistryURL and SearchURL are how later stages reach them.
+	Servers     *serve.Group
+	HTTP        *http.Client
+	RegistryURL string
+	SearchURL   string
+	// Sink receives downloaded layer blobs (stages download / fused).
+	Sink blobstore.Store
+
+	// Outputs.
+	Crawl    *crawler.Result
+	Download *downloader.Result
+	Pipeline *pipeline.Result
+	Analysis *analyzer.Result
+	Growth   []report.GrowthPoint
+	Source   *report.Source
+	Figures  []report.Figure
+}
+
+// newDownloader builds the study's downloader against the served registry
+// and gives it a fresh memory sink.
+func (st *State) newDownloader() *downloader.Downloader {
+	st.Sink = blobstore.NewMemory()
+	return &downloader.Downloader{
+		Client:  &registry.Client{Base: st.RegistryURL, HTTP: st.HTTP},
+		Workers: st.Env.WorkerCount(),
+		Store:   st.Sink,
+	}
+}
+
+// stageGenerate draws the synthetic Hub population from the spec.
+var stageGenerate = engine.NewStage("generate", func(ctx context.Context, st *State) error {
+	d, err := synth.Generate(st.Spec)
+	if err != nil {
+		return fmt.Errorf("generating dataset: %w", err)
+	}
+	st.Dataset = d
+	return nil
+})
+
+// stageMaterialize renders the dataset's images into an in-process
+// registry as real gzip-compressed layer tarballs.
+var stageMaterialize = engine.NewStage("materialize", func(ctx context.Context, st *State) error {
+	st.Registry = registry.New(blobstore.NewMemory())
+	if _, err := synth.Materialize(st.Dataset, st.Registry); err != nil {
+		return fmt.Errorf("materializing: %w", err)
+	}
+	return nil
+})
+
+// stageServe mounts the registry and the Hub search API on the serve
+// chassis. The servers outlive the stage; Study shuts the group down when
+// the run ends (normally or not).
+var stageServe = engine.NewStage("serve", func(ctx context.Context, st *State) error {
+	st.Servers = &serve.Group{}
+
+	reg := &serve.Server{
+		Name:         "registry",
+		Handler:      st.Registry,
+		MaxInFlight:  st.Env.MaxInFlight,
+		DrainTimeout: st.Env.DrainTimeout,
+	}
+	if err := st.Servers.Start(reg); err != nil {
+		return err
+	}
+	search := &serve.Server{
+		Name: "search",
+		Handler: hubapi.NewServer(synth.Repositories(st.Dataset),
+			st.Dataset.Spec.CrawlDupFactor, st.Dataset.Spec.Seed, 0),
+		MaxInFlight:  st.Env.MaxInFlight,
+		DrainTimeout: st.Env.DrainTimeout,
+	}
+	if err := st.Servers.Start(search); err != nil {
+		return err
+	}
+
+	st.RegistryURL = reg.URL()
+	st.SearchURL = search.URL()
+	st.HTTP = reg.Client()
+	return nil
+})
+
+// stageCrawl pages through the search API and deduplicates the entries.
+var stageCrawl = engine.NewStage("crawl", func(ctx context.Context, st *State) error {
+	cr := &crawler.Crawler{
+		Client:  &hubapi.Client{Base: st.SearchURL, HTTP: st.HTTP},
+		Workers: st.Env.WorkerCount(),
+	}
+	res, err := cr.RunContext(ctx)
+	if err != nil {
+		return fmt.Errorf("crawling: %w", err)
+	}
+	st.Crawl = res
+	return nil
+})
+
+// stageDownload pulls every crawled repository's latest image into the
+// sink, deduplicating shared layers on the wire.
+var stageDownload = engine.NewStage("download", func(ctx context.Context, st *State) error {
+	dl := st.newDownloader()
+	res, err := dl.RunContext(ctx, st.Crawl.Repos)
+	if err != nil {
+		return fmt.Errorf("downloading: %w", err)
+	}
+	// Per-repo context errors are classified, not fatal; surface mid-run
+	// cancellation as the clean context error.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st.Download = res
+	return nil
+})
+
+// stageAnalyze walks every downloaded layer from the sink — the second
+// pass of the two-phase wire pipeline.
+var stageAnalyze = engine.NewStage("analyze", func(ctx context.Context, st *State) error {
+	res, err := analyzer.AnalyzeStoreContext(ctx, st.Sink, st.Download.Images, st.Env.WorkerCount())
+	if err != nil {
+		return fmt.Errorf("analyzing store: %w", err)
+	}
+	st.Analysis = res
+	return nil
+})
+
+// stageFused replaces download+analyze with the fused pass: every layer is
+// walked while it streams off the wire.
+var stageFused = engine.NewStage("download+analyze", func(ctx context.Context, st *State) error {
+	dl := st.newDownloader()
+	res, err := pipeline.Run(ctx, dl, st.Crawl.Repos)
+	if err != nil {
+		return fmt.Errorf("fused download+analyze: %w", err)
+	}
+	st.Pipeline = res
+	st.Download = res.Download
+	st.Analysis = res.Analysis
+	return nil
+})
+
+// stageAnalyzeModel profiles the dataset's metadata directly — the model
+// path that scales to millions of file instances.
+var stageAnalyzeModel = engine.NewStage("analyze", func(ctx context.Context, st *State) error {
+	res, err := analyzer.AnalyzeModel(st.Dataset)
+	if err != nil {
+		return fmt.Errorf("analyzing model: %w", err)
+	}
+	st.Analysis = res
+	return nil
+})
+
+// stageGrowth computes the Fig. 25 dedup-growth curve over nested random
+// layer samples.
+var stageGrowth = engine.NewStage("dedup-growth", func(ctx context.Context, st *State) error {
+	n := st.GrowthSamples
+	if n == 0 {
+		n = 4
+	}
+	growth, err := DedupGrowth(st.Dataset, n)
+	if err != nil {
+		return fmt.Errorf("dedup growth: %w", err)
+	}
+	st.Growth = growth
+	return nil
+})
+
+// stageReport assembles the figure source from whatever the graph
+// produced and renders every figure.
+var stageReport = engine.NewStage("report", func(ctx context.Context, st *State) error {
+	src := &report.Source{
+		Analysis: st.Analysis,
+		Repos:    synth.Repositories(st.Dataset),
+		Growth:   st.Growth,
+	}
+	if st.Crawl != nil {
+		src.Crawl = st.Crawl
+	}
+	if st.Download != nil {
+		src.Download = &st.Download.Stats
+	}
+	st.Source = src
+	st.Figures = report.All(src)
+	return nil
+})

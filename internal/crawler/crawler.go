@@ -9,6 +9,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -44,16 +45,22 @@ type Crawler struct {
 	Retries int
 }
 
-func (c *Crawler) fetchPage(page, size int) (*hubapi.Page, error) {
-	p, err := c.Client.SearchPage("/", page, size)
-	for attempt := 0; attempt < c.Retries && err != nil; attempt++ {
-		p, err = c.Client.SearchPage("/", page, size)
+func (c *Crawler) fetchPage(ctx context.Context, page, size int) (*hubapi.Page, error) {
+	p, err := c.Client.SearchPageContext(ctx, "/", page, size)
+	for attempt := 0; attempt < c.Retries && err != nil && ctx.Err() == nil; attempt++ {
+		p, err = c.Client.SearchPageContext(ctx, "/", page, size)
 	}
 	return p, err
 }
 
 // Run performs the crawl.
 func (c *Crawler) Run() (*Result, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: when ctx is done, in-flight page
+// fetches abort and the crawl returns ctx's error.
+func (c *Crawler) RunContext(ctx context.Context) (*Result, error) {
 	pageSize := c.PageSize
 	if pageSize <= 0 {
 		pageSize = hubapi.DefaultPageSize
@@ -64,7 +71,7 @@ func (c *Crawler) Run() (*Result, error) {
 	}
 
 	// First page reveals the total entry count.
-	first, err := c.fetchPage(1, pageSize)
+	first, err := c.fetchPage(ctx, 1, pageSize)
 	if err != nil {
 		return nil, fmt.Errorf("crawler: first page: %w", err)
 	}
@@ -87,7 +94,7 @@ func (c *Crawler) Run() (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for pageNum := range work {
-				p, err := c.fetchPage(pageNum, pageSize)
+				p, err := c.fetchPage(ctx, pageNum, pageSize)
 				mu.Lock()
 				if err != nil && fetchErr == nil {
 					fetchErr = fmt.Errorf("crawler: page %d: %w", pageNum, err)
@@ -104,6 +111,9 @@ func (c *Crawler) Run() (*Result, error) {
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if fetchErr != nil {
 		return nil, fetchErr
 	}
@@ -122,9 +132,9 @@ func (c *Crawler) Run() (*Result, error) {
 	}
 
 	// Officials are listed separately (their names carry no "/").
-	officials, err := c.Client.Officials()
-	for attempt := 0; attempt < c.Retries && err != nil; attempt++ {
-		officials, err = c.Client.Officials()
+	officials, err := c.Client.OfficialsContext(ctx)
+	for attempt := 0; attempt < c.Retries && err != nil && ctx.Err() == nil; attempt++ {
+		officials, err = c.Client.OfficialsContext(ctx)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("crawler: officials: %w", err)

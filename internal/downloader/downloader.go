@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/blobstore"
 	"repro/internal/digest"
+	"repro/internal/engine"
 	"repro/internal/manifest"
 	"repro/internal/registry"
 	"repro/internal/sema"
@@ -98,11 +99,15 @@ type Downloader struct {
 	rnd   func() float64
 }
 
-// retryable reports whether an error class is worth retrying.
+// retryable reports whether an error class is worth retrying. Auth and
+// not-found outcomes are permanent, and a cancelled context must not be
+// retried — the cancellation is the caller winding the run down.
 func retryable(err error) bool {
 	return err != nil &&
 		!errors.Is(err, registry.ErrUnauthorized) &&
-		!errors.Is(err, registry.ErrNotFound)
+		!errors.Is(err, registry.ErrNotFound) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
 }
 
 // Result is the outcome of a Run.
@@ -133,12 +138,7 @@ type flight struct {
 	err  error
 }
 
-func (d *Downloader) imageWorkers() int {
-	if d.Workers > 0 {
-		return d.Workers
-	}
-	return 8
-}
+func (d *Downloader) imageWorkers() int { return engine.Workers(d.Workers) }
 
 func (d *Downloader) newRunState(ctx context.Context) *runState {
 	lw := d.LayerWorkers
@@ -250,7 +250,7 @@ func (d *Downloader) RunAllTagsContext(ctx context.Context, repos []string) (*Re
 		go func() {
 			defer wg.Done()
 			for repo := range work {
-				tags, err := d.Client.Tags(repo)
+				tags, err := d.Client.TagsContext(st.ctx, repo)
 				if err != nil || len(tags) == 0 {
 					mu.Lock()
 					switch {
@@ -404,7 +404,7 @@ func (d *Downloader) fetchBlob(st *runState, repo string, desc manifest.Descript
 	var n int64
 	var err error
 	for attempt := 0; ; attempt++ {
-		n, err = d.fetchOnce(repo, desc, isConfig)
+		n, err = d.fetchOnce(st.ctx, repo, desc, isConfig)
 		if err == nil || !retryable(err) || attempt >= d.Retries {
 			break
 		}
@@ -428,8 +428,8 @@ func (d *Downloader) fetchBlob(st *runState, repo string, desc manifest.Descript
 // client-side digest verification into the store (or io.Discard in
 // measurement mode), optionally teeing into LayerTee — no full-blob buffer
 // materializes anywhere on this path.
-func (d *Downloader) fetchOnce(repo string, desc manifest.Descriptor, isConfig bool) (int64, error) {
-	vr, _, err := d.Client.BlobStreamVerified(repo, desc.Digest)
+func (d *Downloader) fetchOnce(ctx context.Context, repo string, desc manifest.Descriptor, isConfig bool) (int64, error) {
+	vr, _, err := d.Client.BlobStreamVerifiedContext(ctx, repo, desc.Digest)
 	if err != nil {
 		return 0, err
 	}
@@ -470,12 +470,12 @@ func (d *Downloader) fetchOnce(repo string, desc manifest.Descriptor, isConfig b
 }
 
 func (d *Downloader) manifestWithRetry(ctx context.Context, repo, tag string) (*manifest.Manifest, digest.Digest, error) {
-	m, md, err := d.Client.Manifest(repo, tag)
+	m, md, err := d.Client.ManifestContext(ctx, repo, tag)
 	for attempt := 1; attempt <= d.Retries && retryable(err); attempt++ {
 		if serr := d.backoffSleep(ctx, attempt); serr != nil {
 			return nil, "", serr
 		}
-		m, md, err = d.Client.Manifest(repo, tag)
+		m, md, err = d.Client.ManifestContext(ctx, repo, tag)
 	}
 	return m, md, err
 }

@@ -13,6 +13,7 @@
 package hubapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -189,22 +190,37 @@ func (c *Client) httpClient() *http.Client {
 
 // SearchPage fetches one page of results for query.
 func (c *Client) SearchPage(query string, page, pageSize int) (*Page, error) {
+	return c.SearchPageContext(context.Background(), query, page, pageSize)
+}
+
+// SearchPageContext is SearchPage with cancellation: the request aborts
+// when ctx is done.
+func (c *Client) SearchPageContext(ctx context.Context, query string, page, pageSize int) (*Page, error) {
 	url := fmt.Sprintf("%s/v2/search/repositories?query=%s&page=%d&page_size=%d",
 		c.Base, query, page, pageSize)
-	return c.fetch(url)
+	return c.fetch(ctx, url)
 }
 
 // Officials fetches the official repository list.
 func (c *Client) Officials() ([]Result, error) {
-	p, err := c.fetch(c.Base + "/v2/repositories/official")
+	return c.OfficialsContext(context.Background())
+}
+
+// OfficialsContext is Officials with cancellation.
+func (c *Client) OfficialsContext(ctx context.Context) ([]Result, error) {
+	p, err := c.fetch(ctx, c.Base+"/v2/repositories/official")
 	if err != nil {
 		return nil, err
 	}
 	return p.Results, nil
 }
 
-func (c *Client) fetch(url string) (*Page, error) {
-	resp, err := c.httpClient().Get(url)
+func (c *Client) fetch(ctx context.Context, url string) (*Page, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("hubapi client: building request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("hubapi client: %w", err)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/digest"
 	"repro/internal/downloader"
+	"repro/internal/engine"
 )
 
 // Result bundles the fused run.
@@ -68,6 +69,12 @@ func Run(ctx context.Context, dl *downloader.Downloader, repos []string) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	// The downloader classifies per-repo context errors as repo failures
+	// rather than aborting; surface mid-run cancellation as the clean
+	// context error the caller expects.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	downloadWall := time.Since(start)
 
 	res := &Result{Download: dres, DownloadWall: downloadWall, WalkedInline: len(walked)}
@@ -87,7 +94,7 @@ func Run(ctx context.Context, dl *downloader.Downloader, repos []string) (*Resul
 	}
 
 	start = time.Now()
-	ares, err := analyzer.AnalyzeWalked(dl.Store, dres.Images, walked, dl.Workers)
+	ares, err := analyzer.AnalyzeWalkedContext(ctx, dl.Store, dres.Images, walked, engine.Workers(dl.Workers))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,8 +45,8 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) get(path string) (*http.Response, error) {
-	req, err := http.NewRequest(http.MethodGet, c.Base+path, nil)
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("registry client: building request: %w", err)
 	}
@@ -73,7 +74,7 @@ func (c *Client) get(path string) (*http.Response, error) {
 
 // Ping checks the /v2/ endpoint.
 func (c *Client) Ping() error {
-	resp, err := c.get("/v2/")
+	resp, err := c.get(context.Background(), "/v2/")
 	if err != nil {
 		return err
 	}
@@ -83,7 +84,12 @@ func (c *Client) Ping() error {
 
 // Tags lists the tags of a repository.
 func (c *Client) Tags(name string) ([]string, error) {
-	resp, err := c.get("/v2/" + name + "/tags/list")
+	return c.TagsContext(context.Background(), name)
+}
+
+// TagsContext is Tags with cancellation.
+func (c *Client) TagsContext(ctx context.Context, name string) ([]string, error) {
+	resp, err := c.get(ctx, "/v2/"+name+"/tags/list")
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +118,7 @@ func (c *Client) Catalog(pageSize int) ([]string, error) {
 		if last != "" {
 			url += "&last=" + last
 		}
-		resp, err := c.get(strings.TrimPrefix(url, c.Base))
+		resp, err := c.get(context.Background(), strings.TrimPrefix(url, c.Base))
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +145,13 @@ func (c *Client) Catalog(pageSize int) ([]string, error) {
 // together with its content digest (from the Docker-Content-Digest header,
 // verified against the body).
 func (c *Client) Manifest(name, ref string) (*manifest.Manifest, digest.Digest, error) {
-	resp, err := c.get("/v2/" + name + "/manifests/" + url.PathEscape(ref))
+	return c.ManifestContext(context.Background(), name, ref)
+}
+
+// ManifestContext is Manifest with cancellation: the fetch aborts when ctx
+// is done.
+func (c *Client) ManifestContext(ctx context.Context, name, ref string) (*manifest.Manifest, digest.Digest, error) {
+	resp, err := c.get(ctx, "/v2/"+name+"/manifests/"+url.PathEscape(ref))
 	if err != nil {
 		return nil, "", err
 	}
@@ -162,7 +174,13 @@ func (c *Client) Manifest(name, ref string) (*manifest.Manifest, digest.Digest, 
 // Blob streams a blob; the caller must Close the reader. Content is not
 // verified here — use BlobVerified when integrity matters.
 func (c *Client) Blob(name string, d digest.Digest) (io.ReadCloser, int64, error) {
-	resp, err := c.get("/v2/" + name + "/blobs/" + d.String())
+	return c.BlobContext(context.Background(), name, d)
+}
+
+// BlobContext is Blob with cancellation: when ctx is done, an in-flight
+// body read fails with ctx's error, aborting the transfer mid-stream.
+func (c *Client) BlobContext(ctx context.Context, name string, d digest.Digest) (io.ReadCloser, int64, error) {
+	resp, err := c.get(ctx, "/v2/"+name+"/blobs/"+d.String())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -174,7 +192,12 @@ func (c *Client) Blob(name string, d digest.Digest) (io.ReadCloser, int64, error
 // range (plain 200), the offset is skipped client-side so the caller
 // always reads from the requested position.
 func (c *Client) BlobRange(name string, d digest.Digest, offset int64) (io.ReadCloser, error) {
-	req, err := http.NewRequest(http.MethodGet, c.Base+"/v2/"+name+"/blobs/"+d.String(), nil)
+	return c.BlobRangeContext(context.Background(), name, d, offset)
+}
+
+// BlobRangeContext is BlobRange with cancellation.
+func (c *Client) BlobRangeContext(ctx context.Context, name string, d digest.Digest, offset int64) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v2/"+name+"/blobs/"+d.String(), nil)
 	if err != nil {
 		return nil, fmt.Errorf("registry client: building range request: %w", err)
 	}
@@ -224,7 +247,15 @@ const defaultResumes = 3
 // blobstore.Store.PutStream). The returned size is the server's
 // Content-Length (-1 when unknown); the caller must Close the reader.
 func (c *Client) BlobStreamVerified(name string, d digest.Digest) (io.ReadCloser, int64, error) {
-	rc, size, err := c.Blob(name, d)
+	return c.BlobStreamVerifiedContext(context.Background(), name, d)
+}
+
+// BlobStreamVerifiedContext is BlobStreamVerified with cancellation: when
+// ctx is done, in-flight reads fail with ctx's error and mid-stream
+// resumes are not attempted — cancellation reaches into the transfer
+// itself instead of waiting for the blob to finish.
+func (c *Client) BlobStreamVerifiedContext(ctx context.Context, name string, d digest.Digest) (io.ReadCloser, int64, error) {
+	rc, size, err := c.BlobContext(ctx, name, d)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -235,12 +266,13 @@ func (c *Client) BlobStreamVerified(name string, d digest.Digest) (io.ReadCloser
 	if resumes < 0 {
 		resumes = 0
 	}
-	return &blobStream{c: c, name: name, want: d, body: rc, h: digest.NewHasher(), resumes: resumes}, size, nil
+	return &blobStream{c: c, ctx: ctx, name: name, want: d, body: rc, h: digest.NewHasher(), resumes: resumes}, size, nil
 }
 
 // blobStream is the verifying, resuming reader behind BlobStreamVerified.
 type blobStream struct {
 	c       *Client
+	ctx     context.Context
 	name    string
 	want    digest.Digest
 	body    io.ReadCloser
@@ -274,14 +306,19 @@ func (s *blobStream) Read(p []byte) (int, error) {
 			return n, s.err
 		default:
 			// Mid-stream failure: resume from the bytes already verified
-			// into the hasher rather than refetching from zero.
+			// into the hasher rather than refetching from zero. A cancelled
+			// transfer is not resumed — the failure IS the cancellation.
+			if cerr := s.ctx.Err(); cerr != nil {
+				s.err = cerr
+				return n, s.err
+			}
 			if s.resumes <= 0 {
 				s.err = fmt.Errorf("registry client: streaming blob %s at offset %d: %w", s.want.Short(), s.off, err)
 				return n, s.err
 			}
 			s.resumes--
 			s.body.Close()
-			body, rerr := s.c.BlobRange(s.name, s.want, s.off)
+			body, rerr := s.c.BlobRangeContext(s.ctx, s.name, s.want, s.off)
 			if rerr != nil {
 				s.err = fmt.Errorf("registry client: resuming blob %s at offset %d: %w", s.want.Short(), s.off, rerr)
 				return n, s.err

@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/filetype"
@@ -648,6 +649,25 @@ func familyDedup(src *Source, g filetype.Group) map[string][2]int64 {
 	return agg
 }
 
+// famOrder fixes the row order of the per-family tables: capacity
+// descending, name as tiebreak. Ranging over the map directly made the
+// figure text differ run to run even at a fixed seed.
+func famOrder(agg map[string][2]int64) []string {
+	fams := make([]string, 0, len(agg))
+	for fam := range agg {
+		if agg[fam][0] != 0 {
+			fams = append(fams, fam)
+		}
+	}
+	sort.Slice(fams, func(i, j int) bool {
+		if agg[fams[i]][0] != agg[fams[j]][0] {
+			return agg[fams[i]][0] > agg[fams[j]][0]
+		}
+		return fams[i] < fams[j]
+	})
+	return fams
+}
+
 func famSavings(agg map[string][2]int64, fam string) float64 {
 	cur := agg[fam]
 	if cur[0] == 0 {
@@ -660,12 +680,9 @@ func famSavings(agg map[string][2]int64, fam string) float64 {
 func Fig28(src *Source) (Figure, bool) {
 	agg := familyDedup(src, filetype.GroupEOL)
 	var b strings.Builder
-	for fam, cur := range agg {
-		if cur[0] == 0 {
-			continue
-		}
+	for _, fam := range famOrder(agg) {
 		fmt.Fprintf(&b, "  %-10s capacity %12s dedup %5.1f%%\n", fam,
-			FormatBytes(float64(cur[0])), famSavings(agg, fam)*100)
+			FormatBytes(float64(agg[fam][0])), famSavings(agg, fam)*100)
 	}
 	return Figure{
 		ID:    "fig28",
@@ -685,12 +702,9 @@ func Fig28(src *Source) (Figure, bool) {
 func Fig29(src *Source) (Figure, bool) {
 	agg := familyDedup(src, filetype.GroupSourceCode)
 	var b strings.Builder
-	for fam, cur := range agg {
-		if cur[0] == 0 {
-			continue
-		}
+	for _, fam := range famOrder(agg) {
 		fmt.Fprintf(&b, "  %-10s capacity %12s dedup %5.1f%%\n", fam,
-			FormatBytes(float64(cur[0])), famSavings(agg, fam)*100)
+			FormatBytes(float64(agg[fam][0])), famSavings(agg, fam)*100)
 	}
 	return Figure{
 		ID:    "fig29",

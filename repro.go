@@ -26,6 +26,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/core"
@@ -68,6 +69,13 @@ type Metric = report.Metric
 
 // Run executes a reproduction study.
 func Run(opts Options) (*Result, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cancellation: when ctx is done, in-flight stage
+// work (crawls, transfers, layer walks) winds down, mounted servers drain
+// gracefully, and the run returns ctx's error.
+func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	if opts.Scale <= 0 {
 		return nil, errors.New("repro: Options.Scale must be positive")
 	}
@@ -87,7 +95,7 @@ func Run(opts Options) (*Result, error) {
 		Fused:         opts.Fused,
 	}
 	if opts.Wire {
-		return study.RunWire()
+		return study.RunWireContext(ctx)
 	}
-	return study.RunModel()
+	return study.RunModelContext(ctx)
 }

@@ -1,8 +1,11 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -45,6 +48,59 @@ func TestRunWireSmall(t *testing.T) {
 	}
 	if res.Download.Stats.Downloaded == 0 {
 		t.Fatal("wire run downloaded nothing")
+	}
+}
+
+func TestRunWireStageAccounting(t *testing.T) {
+	res, err := repro.Run(repro.Options{Scale: 0.0001, Wire: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) == 0 {
+		t.Fatal("wire run recorded no stages")
+	}
+	var sawDownload bool
+	for _, sr := range res.Stages {
+		if sr.Err != nil {
+			t.Errorf("stage %s failed: %v", sr.Name, sr.Err)
+		}
+		if sr.Name == "download" {
+			sawDownload = true
+		}
+	}
+	if !sawDownload {
+		t.Fatalf("stages %v missing download", res.Stages)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, wire := range []bool{false, true} {
+		_, err := repro.RunContext(ctx, repro.Options{Scale: 0.0001, Wire: wire})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("wire=%v: err = %v, want context.Canceled", wire, err)
+		}
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// Cancel shortly after the run starts: generation alone outlasts the
+	// delay, so cancellation lands mid-stage. The run must come back
+	// promptly with a clean context error, servers drained.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := repro.RunContext(ctx, repro.Options{Scale: 0.0005, Wire: true, Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled run took %v to return", elapsed)
 	}
 }
 
