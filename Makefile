@@ -28,7 +28,7 @@ test:
 # Race-check the packages with concurrent machinery. Kept narrower than
 # ./... so the gate stays fast enough to run on every change.
 race:
-	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/downloader ./internal/registry ./internal/pipeline ./internal/engine ./internal/serve
+	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/downloader ./internal/registry ./internal/pipeline ./internal/engine ./internal/serve ./internal/cache ./internal/mirror
 
 # Full benchmark sweep (slow).
 bench:
@@ -44,5 +44,6 @@ bench-scaling:
 # bit-rot in CI without paying the full bench cost.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'DownloadStreaming|FusedPipeline' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'CacheHitServe|CacheMissFill' -benchtime=1x -benchmem ./internal/cache
 
 ci: lint test race bench-smoke

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	goldencheck [-scale 0.0001] [-model-scale 0.0002] [-seed 0] [-workers 1,4,8]
+//	            [-mirror]
+//
+// -mirror adds two wire configurations that pull through the caching
+// mirror (cold cache and pre-warmed cache); their fingerprints must match
+// the direct wire run's — the cache must be invisible to the science.
 package main
 
 import (
@@ -25,6 +30,8 @@ func main() {
 	modelScale := flag.Float64("model-scale", 0.0002, "model dataset scale")
 	seed := flag.Int64("seed", 0, "dataset seed override (0 = spec default)")
 	workersList := flag.String("workers", "1,4,8", "comma-separated worker counts")
+	withMirror := flag.Bool("mirror", false, "also fingerprint wire runs pulled through the caching mirror (cold + warm)")
+	mirrorBytes := flag.Int64("mirror-bytes", 8<<20, "mirror cache byte budget for -mirror runs")
 	flag.Parse()
 
 	var workers []int
@@ -37,25 +44,36 @@ func main() {
 		workers = append(workers, n)
 	}
 
-	modes := []struct {
-		name  string
-		wire  bool
-		fused bool
-		scale float64
-	}{
-		{"model", false, false, *modelScale},
-		{"wire", true, false, *scale},
-		{"fused", true, true, *scale},
+	type mode struct {
+		name        string
+		wire        bool
+		fused       bool
+		scale       float64
+		mirrorBytes int64
+		mirrorWarm  bool
+	}
+	modes := []mode{
+		{name: "model", scale: *modelScale},
+		{name: "wire", wire: true, scale: *scale},
+		{name: "fused", wire: true, fused: true, scale: *scale},
+	}
+	if *withMirror {
+		modes = append(modes,
+			mode{name: "mirror-cold", wire: true, scale: *scale, mirrorBytes: *mirrorBytes},
+			mode{name: "mirror-warm", wire: true, scale: *scale, mirrorBytes: *mirrorBytes, mirrorWarm: true},
+		)
 	}
 
 	for _, mode := range modes {
 		for _, w := range workers {
 			res, err := repro.Run(repro.Options{
-				Scale:   mode.scale,
-				Seed:    *seed,
-				Wire:    mode.wire,
-				Fused:   mode.fused,
-				Workers: w,
+				Scale:            mode.scale,
+				Seed:             *seed,
+				Wire:             mode.wire,
+				Fused:            mode.fused,
+				Workers:          w,
+				MirrorCacheBytes: mode.mirrorBytes,
+				MirrorWarm:       mode.mirrorWarm,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "goldencheck: %s w=%d: %v\n", mode.name, w, err)
@@ -65,8 +83,12 @@ func main() {
 			for _, fig := range res.Figures {
 				fmt.Fprintln(h, fig.String())
 			}
-			fmt.Printf("%-6s workers=%d figures=%d sha256=%x\n",
-				mode.name, w, len(res.Figures), h.Sum(nil))
+			extra := ""
+			if res.MirrorStats != nil {
+				extra = fmt.Sprintf(" cache-hit=%.3f", res.MirrorStats.HitRatio())
+			}
+			fmt.Printf("%-11s workers=%d figures=%d sha256=%x%s\n",
+				mode.name, w, len(res.Figures), h.Sum(nil), extra)
 		}
 	}
 }

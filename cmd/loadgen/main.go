@@ -6,7 +6,13 @@
 // Usage:
 //
 //	loadgen -registry http://localhost:5000 -search http://localhost:5001 \
-//	        [-pulls 2000] [-workers 8]
+//	        [-pulls 2000] [-workers 8] [-mirror http://localhost:5100]
+//
+// With -mirror the pulls are pointed at a pull-through cache (cmd/mirror)
+// instead of the registry, and the run additionally reports the mirror's
+// cache hit ratio, evictions, and resident bytes over the replay — the
+// experiment behind the paper's §IV-B(a) observation that a small cache
+// absorbs most of a popularity-skewed workload.
 //
 // The generator crawls the search API for the repository population and
 // pull counts, synthesizes a pull trace proportional to those counts, and
@@ -15,8 +21,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -35,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 8, "concurrent clients (closed-loop mode)")
 	seed := flag.Int64("seed", 1, "trace seed")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in pulls/s (0 = closed-loop)")
+	mirrorURL := flag.String("mirror", "", "pull through this caching mirror instead of -registry and report its cache stats")
 	flag.Parse()
 
 	// Population and weights from the search API.
@@ -69,8 +78,18 @@ func main() {
 	}
 
 	client := &registry.Client{Base: *regURL}
+	var before mirrorStats
+	if *mirrorURL != "" {
+		client = &registry.Client{Base: *mirrorURL}
+		var err error
+		if before, err = fetchMirrorStats(*mirrorURL); err != nil {
+			fatal(fmt.Errorf("mirror stats: %w", err))
+		}
+	}
+
 	if *rate > 0 {
 		runOpenLoop(client, names, weights, *pulls, *rate, *seed)
+		reportMirror(*mirrorURL, before)
 		return
 	}
 
@@ -124,6 +143,54 @@ func main() {
 		fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 			latencies.Median(), latencies.P(90), latencies.P(99), latencies.Max())
 	}
+	reportMirror(*mirrorURL, before)
+}
+
+// mirrorStats mirrors the JSON shape of the mirror's /stats endpoint.
+type mirrorStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	NegHits   int64   `json:"neg_hits"`
+	Evictions int64   `json:"evictions"`
+	Used      int64   `json:"used"`
+	Budget    int64   `json:"budget"`
+	Entries   int64   `json:"entries"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+func fetchMirrorStats(base string) (mirrorStats, error) {
+	var s mirrorStats
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("GET /stats: %s", resp.Status)
+	}
+	return s, json.NewDecoder(resp.Body).Decode(&s)
+}
+
+// reportMirror prints the cache activity the replay generated: the delta
+// between the /stats snapshots bracketing the run.
+func reportMirror(base string, before mirrorStats) {
+	if base == "" {
+		return
+	}
+	after, err := fetchMirrorStats(base)
+	if err != nil {
+		fatal(fmt.Errorf("mirror stats: %w", err))
+	}
+	served := (after.Hits - before.Hits) + (after.Coalesced - before.Coalesced)
+	total := served + (after.Misses - before.Misses)
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(served) / float64(total)
+	}
+	fmt.Printf("mirror: hit ratio %.1f%% (%d/%d requests served from cache), %d evictions, cache %s / %s (%d blobs)\n",
+		100*ratio, served, total, after.Evictions-before.Evictions,
+		report.FormatBytes(float64(after.Used)), report.FormatBytes(float64(after.Budget)), after.Entries)
 }
 
 // runOpenLoop replays a Poisson workload: each pull is dispatched at its

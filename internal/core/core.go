@@ -27,6 +27,7 @@ import (
 	"math/rand"
 
 	"repro/internal/analyzer"
+	"repro/internal/cache"
 	"repro/internal/crawler"
 	"repro/internal/dedup"
 	"repro/internal/downloader"
@@ -52,6 +53,14 @@ type Study struct {
 	// every layer is walked while it streams off the wire instead of in a
 	// second pass over the store.
 	Fused bool
+	// MirrorCacheBytes, when positive, interposes a pull-through caching
+	// mirror between the downloader and the registry (wire mode only); the
+	// value is the cache's byte budget. Figures stay bit-identical — the
+	// mirror re-serves origin bytes verbatim.
+	MirrorCacheBytes int64
+	// MirrorWarm pre-pulls every crawled repository through the mirror
+	// before the measured download stage, so it runs against a warm cache.
+	MirrorWarm bool
 }
 
 // Result is everything a study produces.
@@ -69,6 +78,9 @@ type Result struct {
 	Crawl    *crawler.Result
 	Download *downloader.Result
 	Registry *registry.Registry
+	// MirrorStats snapshots the pull-through cache's counters at the end
+	// of a mirrored run (nil when no mirror was configured).
+	MirrorStats *cache.Stats
 }
 
 // Env builds the study's shared run environment.
@@ -101,7 +113,14 @@ func (s *Study) RunWire() (*Result, error) {
 // RunWireContext is RunWire with cancellation: when ctx is done, in-flight
 // transfers abort, the servers drain, and the run returns ctx's error.
 func (s *Study) RunWireContext(ctx context.Context) (*Result, error) {
-	stages := []engine.Stage[*State]{stageGenerate, stageMaterialize, stageServe, stageCrawl}
+	stages := []engine.Stage[*State]{stageGenerate, stageMaterialize, stageServe}
+	if s.MirrorCacheBytes > 0 {
+		stages = append(stages, newMirrorStage(s.MirrorCacheBytes))
+	}
+	stages = append(stages, stageCrawl)
+	if s.MirrorCacheBytes > 0 && s.MirrorWarm {
+		stages = append(stages, stageMirrorWarm)
+	}
 	if s.Fused {
 		stages = append(stages, stageFused)
 	} else {
@@ -130,7 +149,7 @@ func (s *Study) run(ctx context.Context, stages []engine.Stage[*State]) (*Result
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Dataset:  st.Dataset,
 		Analysis: st.Analysis,
 		Source:   st.Source,
@@ -139,7 +158,12 @@ func (s *Study) run(ctx context.Context, stages []engine.Stage[*State]) (*Result
 		Crawl:    st.Crawl,
 		Download: st.Download,
 		Registry: st.Registry,
-	}, nil
+	}
+	if st.MirrorCache != nil {
+		stats := st.MirrorCache.Stats()
+		res.MirrorStats = &stats
+	}
+	return res, nil
 }
 
 // DedupGrowth reproduces Fig. 25: dedup ratios over nested random layer

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// figureText flattens the rendered figures into one comparable string.
+func figureText(res *Result) string {
+	var b strings.Builder
+	for _, f := range res.Figures {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestMirrorRunsBitIdentical: interposing the pull-through caching mirror
+// — cold or pre-warmed — must leave every rendered figure bit-identical
+// to the direct wire run. The cache must be invisible to the science.
+func TestMirrorRunsBitIdentical(t *testing.T) {
+	spec := synth.MaterializeSpec(0.0001)
+	direct, err := (&Study{Spec: spec, Workers: 4}).RunWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := figureText(direct)
+	if want == "" {
+		t.Fatal("direct wire run rendered no figures")
+	}
+
+	for _, c := range []struct {
+		name string
+		warm bool
+	}{
+		{"cold", false},
+		{"warm", true},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := (&Study{
+				Spec: spec, Workers: 4,
+				MirrorCacheBytes: 8 << 20, MirrorWarm: c.warm,
+			}).RunWire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := figureText(res); got != want {
+				t.Error("mirrored run figures differ from direct wire run")
+			}
+			s := res.MirrorStats
+			if s == nil {
+				t.Fatal("mirrored run has no MirrorStats")
+			}
+			if s.Misses == 0 {
+				t.Error("mirror saw no misses — traffic did not flow through it")
+			}
+			if c.warm {
+				// The warm pass pulled everything first, so the measured
+				// download must be mostly hits.
+				if s.HitRatio() < 0.5 {
+					t.Errorf("warm-run hit ratio = %.3f, want >= 0.5", s.HitRatio())
+				}
+			}
+			// Mirrored downloads still fetch every public latest image.
+			if res.Download.Stats.Downloaded != len(res.Dataset.Images) {
+				t.Errorf("downloaded %d, want %d", res.Download.Stats.Downloaded, len(res.Dataset.Images))
+			}
+		})
+	}
+}
+
+// TestMirrorStageRecorded: the mirror stages appear in the run's stage
+// results exactly when configured.
+func TestMirrorStageRecorded(t *testing.T) {
+	spec := synth.MaterializeSpec(0.0001)
+	res, err := (&Study{Spec: spec, Workers: 4, MirrorCacheBytes: 8 << 20, MirrorWarm: true}).RunWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range res.Stages {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "mirror,") || !strings.Contains(joined, "mirror-warm") {
+		t.Fatalf("stage list %q missing mirror stages", joined)
+	}
+}

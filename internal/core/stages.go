@@ -7,10 +7,12 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/blobstore"
+	"repro/internal/cache"
 	"repro/internal/crawler"
 	"repro/internal/downloader"
 	"repro/internal/engine"
 	"repro/internal/hubapi"
+	"repro/internal/mirror"
 	"repro/internal/pipeline"
 	"repro/internal/registry"
 	"repro/internal/report"
@@ -41,6 +43,11 @@ type State struct {
 	SearchURL   string
 	// Sink receives downloaded layer blobs (stages download / fused).
 	Sink blobstore.Store
+	// OriginURL preserves the registry's direct URL when stage mirror
+	// repoints RegistryURL at the pull-through cache; MirrorCache is that
+	// cache (stage mirror).
+	OriginURL   string
+	MirrorCache *cache.Cache
 
 	// Outputs.
 	Crawl    *crawler.Result
@@ -113,6 +120,46 @@ var stageServe = engine.NewStage("serve", func(ctx context.Context, st *State) e
 	st.SearchURL = search.URL()
 	st.HTTP = reg.Client()
 	return nil
+})
+
+// newMirrorStage builds the stage that interposes a pull-through caching
+// mirror between the downloader and the registry: it mounts the mirror on
+// the run's serve group and repoints RegistryURL at it, so every later
+// stage pulls through the cache. The figures must stay bit-identical to a
+// direct wire run — the mirror re-serves origin bytes verbatim.
+func newMirrorStage(cacheBytes int64) engine.Stage[*State] {
+	return engine.NewStage("mirror", func(ctx context.Context, st *State) error {
+		st.MirrorCache = cache.New(blobstore.NewMemory(), cacheBytes)
+		origin := &registry.Client{Base: st.RegistryURL, HTTP: st.HTTP}
+		srv := &serve.Server{
+			Name:         "mirror",
+			Handler:      mirror.New(origin, st.MirrorCache),
+			MaxInFlight:  st.Env.MaxInFlight,
+			DrainTimeout: st.Env.DrainTimeout,
+		}
+		if err := st.Servers.Start(srv); err != nil {
+			return err
+		}
+		st.OriginURL = st.RegistryURL
+		st.RegistryURL = srv.URL()
+		st.HTTP = srv.Client()
+		return nil
+	})
+}
+
+// stageMirrorWarm pre-warms the mirror cache by pulling every crawled
+// repository once (bytes discarded) before the measured download, so the
+// study's download stage runs against a warm cache.
+var stageMirrorWarm = engine.NewStage("mirror-warm", func(ctx context.Context, st *State) error {
+	dl := &downloader.Downloader{
+		Client:  &registry.Client{Base: st.RegistryURL, HTTP: st.HTTP},
+		Workers: st.Env.WorkerCount(),
+		Store:   blobstore.NewMemory(),
+	}
+	if _, err := dl.RunContext(ctx, st.Crawl.Repos); err != nil {
+		return fmt.Errorf("warming mirror: %w", err)
+	}
+	return ctx.Err()
 })
 
 // stageCrawl pages through the search API and deduplicates the entries.

@@ -99,13 +99,16 @@ type Downloader struct {
 	rnd   func() float64
 }
 
-// retryable reports whether an error class is worth retrying. Auth and
-// not-found outcomes are permanent, and a cancelled context must not be
-// retried — the cancellation is the caller winding the run down.
+// retryable reports whether an error class is worth retrying. Auth,
+// not-found, and unsatisfiable-range outcomes are permanent, and a
+// cancelled context must not be retried — the cancellation is the caller
+// winding the run down. Throttle responses (429/503) are retryable by
+// definition: the server asked the client to come back later.
 func retryable(err error) bool {
 	return err != nil &&
 		!errors.Is(err, registry.ErrUnauthorized) &&
 		!errors.Is(err, registry.ErrNotFound) &&
+		!errors.Is(err, registry.ErrRangeUnsatisfiable) &&
 		!errors.Is(err, context.Canceled) &&
 		!errors.Is(err, context.DeadlineExceeded)
 }
@@ -408,7 +411,7 @@ func (d *Downloader) fetchBlob(st *runState, repo string, desc manifest.Descript
 		if err == nil || !retryable(err) || attempt >= d.Retries {
 			break
 		}
-		if serr := d.backoffSleep(st.ctx, attempt+1); serr != nil {
+		if serr := d.backoffSleep(st.ctx, attempt+1, err); serr != nil {
 			return serr
 		}
 	}
@@ -472,7 +475,7 @@ func (d *Downloader) fetchOnce(ctx context.Context, repo string, desc manifest.D
 func (d *Downloader) manifestWithRetry(ctx context.Context, repo, tag string) (*manifest.Manifest, digest.Digest, error) {
 	m, md, err := d.Client.ManifestContext(ctx, repo, tag)
 	for attempt := 1; attempt <= d.Retries && retryable(err); attempt++ {
-		if serr := d.backoffSleep(ctx, attempt); serr != nil {
+		if serr := d.backoffSleep(ctx, attempt, err); serr != nil {
 			return nil, "", serr
 		}
 		m, md, err = d.Client.ManifestContext(ctx, repo, tag)
@@ -481,11 +484,18 @@ func (d *Downloader) manifestWithRetry(ctx context.Context, repo, tag string) (*
 }
 
 // backoffSleep pauses before retry `attempt` (1-based), honouring the test
-// seams for the clock and randomness.
-func (d *Downloader) backoffSleep(ctx context.Context, attempt int) error {
+// seams for the clock and randomness. When the failure carried a
+// Retry-After hint (503/429 throttle responses), the hint floors the
+// delay: a server that said "come back in 5s" must not be hammered again
+// after the 50ms first-attempt backoff.
+func (d *Downloader) backoffSleep(ctx context.Context, attempt int, lastErr error) error {
 	sleep := d.sleep
 	if sleep == nil {
 		sleep = sleepCtx
 	}
-	return sleep(ctx, d.Backoff.Delay(attempt, d.rnd))
+	delay := d.Backoff.Delay(attempt, d.rnd)
+	if hint := registry.RetryAfterHint(lastErr); hint > delay {
+		delay = hint
+	}
+	return sleep(ctx, delay)
 }

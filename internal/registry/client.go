@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/digest"
 	"repro/internal/manifest"
@@ -22,7 +24,72 @@ var (
 	// ErrNotFound covers missing repositories, tags ("did not have a
 	// latest tag") and blobs.
 	ErrNotFound = errors.New("registry client: not found")
+	// ErrRangeUnsatisfiable is a 416: the requested resume offset lies
+	// beyond the blob. Retrying the same range can never succeed, so the
+	// class is permanent.
+	ErrRangeUnsatisfiable = errors.New("registry client: requested range not satisfiable")
 )
+
+// ThrottleError is a 429 Too Many Requests or 503 Service Unavailable: the
+// server is shedding load and the request is worth retrying. RetryAfter
+// carries the server's Retry-After hint (0 when the server sent none), which
+// retry loops use as a floor for their next backoff delay.
+type ThrottleError struct {
+	// Status is the HTTP status that signalled the throttle (429 or 503).
+	Status int
+	// RetryAfter is the server's hinted pause, 0 when absent.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ThrottleError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("registry client: throttled with status %d (retry after %s)", e.Status, e.RetryAfter)
+	}
+	return fmt.Sprintf("registry client: throttled with status %d", e.Status)
+}
+
+// RetryAfterHint extracts the server-provided Retry-After duration from an
+// error chain, or 0 when the error carries no hint.
+func RetryAfterHint(err error) time.Duration {
+	var te *ThrottleError
+	if errors.As(err, &te) {
+		return te.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the form LimitInFlight and real registries emit under load).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// statusErr maps a non-2xx response to the typed error vocabulary shared by
+// every client entry point. The response body is closed.
+func statusErr(resp *http.Response, what string) error {
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusUnauthorized:
+		return fmt.Errorf("%w: %s", ErrUnauthorized, what)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, what)
+	case http.StatusRequestedRangeNotSatisfiable:
+		return fmt.Errorf("%w: %s", ErrRangeUnsatisfiable, what)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return &ThrottleError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp)}
+	default:
+		return fmt.Errorf("registry client: %s: unexpected status %d", what, resp.StatusCode)
+	}
+}
 
 // Client talks to a registry over HTTP.
 type Client struct {
@@ -57,19 +124,10 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	if err != nil {
 		return nil, fmt.Errorf("registry client: %s: %w", path, err)
 	}
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return resp, nil
-	case http.StatusUnauthorized:
-		resp.Body.Close()
-		return nil, fmt.Errorf("%w: %s", ErrUnauthorized, path)
-	case http.StatusNotFound:
-		resp.Body.Close()
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
-	default:
-		resp.Body.Close()
-		return nil, fmt.Errorf("registry client: %s: unexpected status %d", path, resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusErr(resp, path)
 	}
+	return resp, nil
 }
 
 // Ping checks the /v2/ endpoint.
@@ -151,6 +209,22 @@ func (c *Client) Manifest(name, ref string) (*manifest.Manifest, digest.Digest, 
 // ManifestContext is Manifest with cancellation: the fetch aborts when ctx
 // is done.
 func (c *Client) ManifestContext(ctx context.Context, name, ref string) (*manifest.Manifest, digest.Digest, error) {
+	raw, d, err := c.ManifestRawContext(ctx, name, ref)
+	if err != nil {
+		return nil, "", err
+	}
+	m, err := manifest.Unmarshal(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	return m, d, nil
+}
+
+// ManifestRawContext fetches a manifest's exact wire bytes together with
+// their content digest (verified against the Docker-Content-Digest header).
+// A caching mirror re-serves these bytes verbatim: re-marshalling a parsed
+// manifest could reorder or reformat JSON and silently change the digest.
+func (c *Client) ManifestRawContext(ctx context.Context, name, ref string) ([]byte, digest.Digest, error) {
 	resp, err := c.get(ctx, "/v2/"+name+"/manifests/"+url.PathEscape(ref))
 	if err != nil {
 		return nil, "", err
@@ -160,15 +234,11 @@ func (c *Client) ManifestContext(ctx context.Context, name, ref string) (*manife
 	if err != nil {
 		return nil, "", fmt.Errorf("registry client: reading manifest: %w", err)
 	}
-	m, err := manifest.Unmarshal(raw)
-	if err != nil {
-		return nil, "", err
-	}
 	d := digest.FromBytes(raw)
 	if hdr := resp.Header.Get("Docker-Content-Digest"); hdr != "" && hdr != d.String() {
 		return nil, "", fmt.Errorf("registry client: manifest digest mismatch: header %s, body %s", hdr, d)
 	}
-	return m, d, nil
+	return raw, d, nil
 }
 
 // Blob streams a blob; the caller must Close the reader. Content is not
@@ -222,16 +292,31 @@ func (c *Client) BlobRangeContext(ctx context.Context, name string, d digest.Dig
 			}
 		}
 		return resp.Body, nil
-	case http.StatusUnauthorized:
-		resp.Body.Close()
-		return nil, fmt.Errorf("%w: %s", ErrUnauthorized, name)
-	case http.StatusNotFound:
-		resp.Body.Close()
-		return nil, fmt.Errorf("%w: blob %s", ErrNotFound, d.Short())
 	default:
-		resp.Body.Close()
-		return nil, fmt.Errorf("registry client: range status %d", resp.StatusCode)
+		return nil, statusErr(resp, "blob "+d.Short())
 	}
+}
+
+// BlobStatContext checks a blob's existence and size with a HEAD request —
+// what a mirror answers HEAD probes with without pulling the blob through.
+func (c *Client) BlobStatContext(ctx context.Context, name string, d digest.Digest) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.Base+"/v2/"+name+"/blobs/"+d.String(), nil)
+	if err != nil {
+		return 0, fmt.Errorf("registry client: building stat request: %w", err)
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("registry client: stat request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, statusErr(resp, "blob "+d.Short())
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.ContentLength, nil
 }
 
 // defaultResumes is the mid-stream resume budget when Client.Resumes is 0.

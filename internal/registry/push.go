@@ -46,13 +46,13 @@ func (r *Registry) authorizePush(w http.ResponseWriter, req *http.Request, name 
 	rp, ok := r.repos[name]
 	r.mu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "NAME_UNKNOWN", "repository name not known to registry")
+		WriteError(w, http.StatusNotFound, "NAME_UNKNOWN", "repository name not known to registry")
 		return false
 	}
 	if rp.private && !authorized(req) {
 		r.authDenied.Add(1)
 		w.Header().Set("WWW-Authenticate", `Bearer realm="synthetic",service="registry"`)
-		writeError(w, http.StatusUnauthorized, "UNAUTHORIZED", "authentication required")
+		WriteError(w, http.StatusUnauthorized, "UNAUTHORIZED", "authentication required")
 		return false
 	}
 	return true
@@ -67,7 +67,7 @@ func (r *Registry) serveBlobUpload(w http.ResponseWriter, req *http.Request, nam
 	}
 	want, err := digest.Parse(req.URL.Query().Get("digest"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "DIGEST_INVALID",
+		WriteError(w, http.StatusBadRequest, "DIGEST_INVALID",
 			"monolithic upload requires a valid ?digest= parameter")
 		return
 	}
@@ -76,9 +76,9 @@ func (r *Registry) serveBlobUpload(w http.ResponseWriter, req *http.Request, nam
 	// bodies are truncated by the limit and then rejected by the digest.
 	if _, err := r.blobs.PutStream(want, io.LimitReader(req.Body, maxBlobSize)); err != nil {
 		if errors.Is(err, blobstore.ErrDigestMismatch) {
-			writeError(w, http.StatusBadRequest, "DIGEST_INVALID", "content does not match digest")
+			WriteError(w, http.StatusBadRequest, "DIGEST_INVALID", "content does not match digest")
 		} else {
-			writeError(w, http.StatusBadRequest, "BLOB_UPLOAD_INVALID", "reading upload body")
+			WriteError(w, http.StatusBadRequest, "BLOB_UPLOAD_INVALID", "reading upload body")
 		}
 		return
 	}
@@ -94,30 +94,30 @@ func (r *Registry) serveManifestPut(w http.ResponseWriter, req *http.Request, na
 	}
 	raw, err := io.ReadAll(io.LimitReader(req.Body, maxBlobSize))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "MANIFEST_INVALID", "reading manifest body")
+		WriteError(w, http.StatusBadRequest, "MANIFEST_INVALID", "reading manifest body")
 		return
 	}
 	m, err := manifest.Unmarshal(raw)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "MANIFEST_INVALID", err.Error())
+		WriteError(w, http.StatusBadRequest, "MANIFEST_INVALID", err.Error())
 		return
 	}
 	// A real registry refuses manifests whose blobs were never uploaded.
 	if !r.blobs.Has(m.Config.Digest) {
-		writeError(w, http.StatusBadRequest, "BLOB_UNKNOWN",
+		WriteError(w, http.StatusBadRequest, "BLOB_UNKNOWN",
 			"manifest references missing config "+m.Config.Digest.Short())
 		return
 	}
 	for _, l := range m.Layers {
 		if !r.blobs.Has(l.Digest) {
-			writeError(w, http.StatusBadRequest, "BLOB_UNKNOWN",
+			WriteError(w, http.StatusBadRequest, "BLOB_UNKNOWN",
 				"manifest references missing layer "+l.Digest.Short())
 			return
 		}
 	}
 	d, err := r.blobs.Put(raw)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "UNKNOWN", "storing manifest")
+		WriteError(w, http.StatusInternalServerError, "UNKNOWN", "storing manifest")
 		return
 	}
 	r.mu.Lock()

@@ -126,9 +126,9 @@ func TestParseRangeTable(t *testing.T) {
 		{"items=1-2", 100, 0, 100, true},     // foreign unit: whole blob
 	}
 	for _, c := range cases {
-		start, length, ok := parseRange(c.h, c.size)
+		start, length, ok := ParseRange(c.h, c.size)
 		if start != c.start || length != c.length || ok != c.ok {
-			t.Errorf("parseRange(%q, %d) = (%d, %d, %v), want (%d, %d, %v)",
+			t.Errorf("ParseRange(%q, %d) = (%d, %d, %v), want (%d, %d, %v)",
 				c.h, c.size, start, length, ok, c.start, c.length, c.ok)
 		}
 	}

@@ -232,13 +232,13 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	rp, ok := r.repos[name]
 	r.mu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "NAME_UNKNOWN", "repository name not known to registry")
+		WriteError(w, http.StatusNotFound, "NAME_UNKNOWN", "repository name not known to registry")
 		return
 	}
 	if rp.private && !authorized(req) {
 		r.authDenied.Add(1)
 		w.Header().Set("WWW-Authenticate", `Bearer realm="synthetic",service="registry"`)
-		writeError(w, http.StatusUnauthorized, "UNAUTHORIZED", "authentication required")
+		WriteError(w, http.StatusUnauthorized, "UNAUTHORIZED", "authentication required")
 		return
 	}
 
@@ -262,7 +262,7 @@ func (r *Registry) serveCatalog(w http.ResponseWriter, req *http.Request) {
 	if s := req.URL.Query().Get("n"); s != "" {
 		v, err := strconv.Atoi(s)
 		if err != nil || v < 1 || v > 10_000 {
-			writeError(w, http.StatusBadRequest, "PAGINATION_NUMBER_INVALID", "bad n")
+			WriteError(w, http.StatusBadRequest, "PAGINATION_NUMBER_INVALID", "bad n")
 			return
 		}
 		n = v
@@ -311,18 +311,18 @@ func (r *Registry) serveManifest(w http.ResponseWriter, req *http.Request, rp *r
 		tagged, ok := rp.tags[ref]
 		r.mu.RUnlock()
 		if !ok {
-			writeError(w, http.StatusNotFound, "MANIFEST_UNKNOWN", "manifest unknown")
+			WriteError(w, http.StatusNotFound, "MANIFEST_UNKNOWN", "manifest unknown")
 			return
 		}
 		d = tagged
 	}
 	rc, size, err := r.blobs.Get(d)
 	if errors.Is(err, blobstore.ErrNotFound) {
-		writeError(w, http.StatusNotFound, "MANIFEST_UNKNOWN", "manifest blob missing")
+		WriteError(w, http.StatusNotFound, "MANIFEST_UNKNOWN", "manifest blob missing")
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "UNKNOWN", "storage backend error")
+		WriteError(w, http.StatusInternalServerError, "UNKNOWN", "storage backend error")
 		return
 	}
 	defer rc.Close()
@@ -339,16 +339,16 @@ func (r *Registry) serveManifest(w http.ResponseWriter, req *http.Request, rp *r
 func (r *Registry) serveBlob(w http.ResponseWriter, req *http.Request, ref string) {
 	d, err := digest.Parse(ref)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "DIGEST_INVALID", "invalid digest")
+		WriteError(w, http.StatusBadRequest, "DIGEST_INVALID", "invalid digest")
 		return
 	}
 	rc, size, err := r.blobs.Get(d)
 	if errors.Is(err, blobstore.ErrNotFound) {
-		writeError(w, http.StatusNotFound, "BLOB_UNKNOWN", "blob unknown to registry")
+		WriteError(w, http.StatusNotFound, "BLOB_UNKNOWN", "blob unknown to registry")
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "UNKNOWN", "storage backend error")
+		WriteError(w, http.StatusInternalServerError, "UNKNOWN", "storage backend error")
 		return
 	}
 	defer rc.Close()
@@ -357,10 +357,10 @@ func (r *Registry) serveBlob(w http.ResponseWriter, req *http.Request, ref strin
 
 	// Range support lets interrupted pulls resume — over a month-long
 	// crawl re-transferring multi-GB layers from zero is real money.
-	start, length, ok := parseRange(req.Header.Get("Range"), size)
+	start, length, ok := ParseRange(req.Header.Get("Range"), size)
 	if !ok {
 		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
-		writeError(w, http.StatusRequestedRangeNotSatisfiable, "RANGE_INVALID", "unsatisfiable range")
+		WriteError(w, http.StatusRequestedRangeNotSatisfiable, "RANGE_INVALID", "unsatisfiable range")
 		return
 	}
 	partial := start != 0 || length != size
@@ -383,9 +383,10 @@ func (r *Registry) serveBlob(w http.ResponseWriter, req *http.Request, ref strin
 	r.blobBytes.Add(n)
 }
 
-// parseRange handles the single-range form "bytes=start-[end]"; an absent
+// ParseRange handles the single-range form "bytes=start-[end]"; an absent
 // header means the whole blob. Returns ok=false for unsatisfiable ranges.
-func parseRange(h string, size int64) (start, length int64, ok bool) {
+// It is exported for the mirror, which answers the same Range dialect.
+func ParseRange(h string, size int64) (start, length int64, ok bool) {
 	if h == "" {
 		return 0, size, true
 	}
@@ -440,7 +441,9 @@ type errorBody struct {
 	} `json:"errors"`
 }
 
-func writeError(w http.ResponseWriter, status int, code, msg string) {
+// WriteError writes the registry v2 error envelope; exported for the
+// mirror, which speaks the same wire dialect.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
 	var body errorBody
 	body.Errors = append(body.Errors, struct {
 		Code    string `json:"code"`

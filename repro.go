@@ -56,6 +56,15 @@ type Options struct {
 	// second pass over the store. Results are identical to the two-phase
 	// pipeline.
 	Fused bool
+	// MirrorCacheBytes, when positive, interposes a pull-through caching
+	// mirror (internal/mirror) between the downloader and the registry
+	// (wire mode only); the value is the cache's byte budget. The run's
+	// figures are bit-identical to a direct wire run, and the resulting
+	// cache counters land in Result.MirrorStats.
+	MirrorCacheBytes int64
+	// MirrorWarm pre-pulls every crawled repository through the mirror
+	// before the measured download, so it runs against a warm cache.
+	MirrorWarm bool
 }
 
 // Result re-exports the study outcome.
@@ -89,10 +98,12 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		spec.Seed = opts.Seed
 	}
 	study := &core.Study{
-		Spec:          spec,
-		Workers:       opts.Workers,
-		GrowthSamples: opts.GrowthSamples,
-		Fused:         opts.Fused,
+		Spec:             spec,
+		Workers:          opts.Workers,
+		GrowthSamples:    opts.GrowthSamples,
+		Fused:            opts.Fused,
+		MirrorCacheBytes: opts.MirrorCacheBytes,
+		MirrorWarm:       opts.MirrorWarm,
 	}
 	if opts.Wire {
 		return study.RunWireContext(ctx)
