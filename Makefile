@@ -28,7 +28,7 @@ test:
 # Race-check the packages with concurrent machinery. Kept narrower than
 # ./... so the gate stays fast enough to run on every change.
 race:
-	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/downloader ./internal/registry ./internal/pipeline ./internal/engine ./internal/serve ./internal/cache ./internal/mirror
+	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/downloader ./internal/registry ./internal/pipeline ./internal/engine ./internal/serve ./internal/cache ./internal/mirror ./internal/cluster
 
 # Full benchmark sweep (slow).
 bench:
@@ -41,9 +41,12 @@ bench-scaling:
 	$(GO) test -run '^$$' -bench IndexObserveParallel -benchmem ./internal/dedup
 
 # One-iteration pass over the streaming/fused benchmarks: catches benchmark
-# bit-rot in CI without paying the full bench cost.
+# bit-rot in CI without paying the full bench cost. The cluster sweep also
+# emits BENCH_cluster.json — the machine-readable throughput-scaling
+# record (nodes, pulls/s, bytes/s, hit ratio, latency percentiles).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'DownloadStreaming|FusedPipeline' -benchtime=1x -benchmem .
 	$(GO) test -run '^$$' -bench 'CacheHitServe|CacheMissFill' -benchtime=1x -benchmem ./internal/cache
+	$(GO) run ./cmd/loadgen -cluster 1,4 -pulls 300 -workers 16 -json BENCH_cluster.json
 
 ci: lint test race bench-smoke

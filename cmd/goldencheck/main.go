@@ -7,11 +7,14 @@
 // Usage:
 //
 //	goldencheck [-scale 0.0001] [-model-scale 0.0002] [-seed 0] [-workers 1,4,8]
-//	            [-mirror]
+//	            [-mirror] [-cluster]
 //
 // -mirror adds two wire configurations that pull through the caching
-// mirror (cold cache and pre-warmed cache); their fingerprints must match
-// the direct wire run's — the cache must be invisible to the science.
+// mirror (cold cache and pre-warmed cache); -cluster adds two that pull
+// through the sharded registry cluster's router (one node, and four nodes
+// at two replicas). Every wire-path variant at the same scale must render
+// the exact bytes of the direct wire run — goldencheck verifies this
+// itself and exits non-zero on any divergence.
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	workersList := flag.String("workers", "1,4,8", "comma-separated worker counts")
 	withMirror := flag.Bool("mirror", false, "also fingerprint wire runs pulled through the caching mirror (cold + warm)")
 	mirrorBytes := flag.Int64("mirror-bytes", 8<<20, "mirror cache byte budget for -mirror runs")
+	withCluster := flag.Bool("cluster", false, "also fingerprint wire runs pulled through the sharded cluster router (1 node and 4 nodes/2 replicas)")
 	flag.Parse()
 
 	var workers []int
@@ -51,6 +55,8 @@ func main() {
 		scale       float64
 		mirrorBytes int64
 		mirrorWarm  bool
+		nodes       int
+		replicas    int
 	}
 	modes := []mode{
 		{name: "model", scale: *modelScale},
@@ -63,7 +69,17 @@ func main() {
 			mode{name: "mirror-warm", wire: true, scale: *scale, mirrorBytes: *mirrorBytes, mirrorWarm: true},
 		)
 	}
+	if *withCluster {
+		modes = append(modes,
+			mode{name: "cluster-n1", wire: true, scale: *scale, nodes: 1, replicas: 1},
+			mode{name: "cluster-n4", wire: true, scale: *scale, nodes: 4, replicas: 2},
+		)
+	}
 
+	// Every wire-path mode must render byte-identical figures; the direct
+	// wire run at the same worker count is the reference.
+	wireRef := make(map[int]string)
+	diverged := false
 	for _, mode := range modes {
 		for _, w := range workers {
 			res, err := repro.Run(repro.Options{
@@ -74,6 +90,8 @@ func main() {
 				Workers:          w,
 				MirrorCacheBytes: mode.mirrorBytes,
 				MirrorWarm:       mode.mirrorWarm,
+				ClusterNodes:     mode.nodes,
+				ClusterReplicas:  mode.replicas,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "goldencheck: %s w=%d: %v\n", mode.name, w, err)
@@ -83,12 +101,32 @@ func main() {
 			for _, fig := range res.Figures {
 				fmt.Fprintln(h, fig.String())
 			}
+			sum := fmt.Sprintf("%x", h.Sum(nil))
 			extra := ""
 			if res.MirrorStats != nil {
 				extra = fmt.Sprintf(" cache-hit=%.3f", res.MirrorStats.HitRatio())
 			}
-			fmt.Printf("%-11s workers=%d figures=%d sha256=%x%s\n",
-				mode.name, w, len(res.Figures), h.Sum(nil), extra)
+			if res.ClusterStats != nil {
+				var blobGets int64
+				for _, ns := range res.ClusterStats {
+					blobGets += ns.Registry.BlobGets
+				}
+				extra += fmt.Sprintf(" nodes=%d node-blob-gets=%d", len(res.ClusterStats), blobGets)
+			}
+			if mode.wire {
+				if ref, ok := wireRef[w]; !ok {
+					wireRef[w] = sum
+				} else if sum != ref {
+					extra += "  << DIVERGES from wire"
+					diverged = true
+				}
+			}
+			fmt.Printf("%-11s workers=%d figures=%d sha256=%s%s\n",
+				mode.name, w, len(res.Figures), sum, extra)
 		}
+	}
+	if diverged {
+		fmt.Fprintln(os.Stderr, "goldencheck: wire-path fingerprints diverged")
+		os.Exit(1)
 	}
 }

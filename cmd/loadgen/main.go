@@ -8,11 +8,23 @@
 //	loadgen -registry http://localhost:5000 -search http://localhost:5001 \
 //	        [-pulls 2000] [-workers 8] [-mirror http://localhost:5100]
 //
+//	loadgen -cluster 1,4 [-scale 0.0003] [-replicas 2] [-node-bw 524288] \
+//	        [-pulls 300] [-workers 16] [-json BENCH_cluster.json]
+//
 // With -mirror the pulls are pointed at a pull-through cache (cmd/mirror)
 // instead of the registry, and the run additionally reports the mirror's
 // cache hit ratio, evictions, and resident bytes over the replay — the
 // experiment behind the paper's §IV-B(a) observation that a small cache
 // absorbs most of a popularity-skewed workload.
+//
+// With -cluster the command is self-contained: it materializes a synthetic
+// Hub in-process, then for each node count in the sweep launches a sharded
+// registry cluster (internal/cluster), seeds it, and replays the same
+// trace through the cluster router, reporting aggregate throughput per
+// node count and the speedup over the first configuration. -node-bw paces
+// each node's egress, modelling per-machine link capacity so the sweep
+// exercises horizontal scaling even on one host. -json additionally
+// writes the sweep results machine-readably.
 //
 // The generator crawls the search API for the repository population and
 // pull counts, synthesizes a pull trace proportional to those counts, and
@@ -21,19 +33,26 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/blobstore"
+	"repro/internal/cluster"
 	"repro/internal/hubapi"
 	"repro/internal/popularity"
 	"repro/internal/registry"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/stats"
+	"repro/internal/synth"
 )
 
 func main() {
@@ -44,7 +63,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace seed")
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in pulls/s (0 = closed-loop)")
 	mirrorURL := flag.String("mirror", "", "pull through this caching mirror instead of -registry and report its cache stats")
+	clusterList := flag.String("cluster", "", "comma-separated node counts: sweep a self-served sharded cluster instead of hitting -registry")
+	scale := flag.Float64("scale", 0.0003, "dataset scale for the -cluster self-served population")
+	replicas := flag.Int("replicas", 2, "replication factor for -cluster (capped at each node count)")
+	nodeBW := flag.Int64("node-bw", 512<<10, "per-node egress pacing in bytes/s for -cluster (0 = unpaced); keep it well under one core's serving rate so the sweep is bandwidth-bound")
+	jsonPath := flag.String("json", "", "write -cluster sweep results to this file as JSON")
 	flag.Parse()
+
+	if *clusterList != "" {
+		runClusterSweep(*clusterList, *scale, *replicas, *nodeBW, *pulls, *workers, *seed, *jsonPath)
+		return
+	}
 
 	// Population and weights from the search API.
 	hub := &hubapi.Client{Base: *searchURL}
@@ -98,16 +127,35 @@ func main() {
 		fatal(err)
 	}
 
-	// Closed-loop replay.
+	r := replay(client, names, trace, *workers)
+	fmt.Printf("loadgen: %d pulls in %s (%.0f pulls/s, %s/s), %d failed\n",
+		r.lat.N(), r.wall.Round(time.Millisecond),
+		float64(r.lat.N())/r.wall.Seconds(),
+		report.FormatBytes(float64(r.bytes)/r.wall.Seconds()), r.failed)
+	if r.lat.N() > 0 {
+		fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			r.lat.Median(), r.lat.P(90), r.lat.P(99), r.lat.Max())
+	}
+	reportMirror(*mirrorURL, before)
+}
+
+// replayResult is one closed-loop replay's outcome.
+type replayResult struct {
+	lat    *stats.CDF
+	bytes  int64
+	failed int
+	wall   time.Duration
+}
+
+// replay runs the trace closed-loop with the given worker fan-out.
+func replay(client *registry.Client, names []string, trace []int, workers int) replayResult {
 	var (
-		mu        sync.Mutex
-		latencies = &stats.CDF{}
-		bytes     int64
-		errs      int
+		mu  sync.Mutex
+		res = replayResult{lat: &stats.CDF{}}
 	)
 	work := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -117,10 +165,10 @@ func main() {
 				elapsed := time.Since(start)
 				mu.Lock()
 				if err != nil {
-					errs++
+					res.failed++
 				} else {
-					latencies.Add(elapsed.Seconds() * 1000)
-					bytes += n
+					res.lat.Add(elapsed.Seconds() * 1000)
+					res.bytes += n
 				}
 				mu.Unlock()
 			}
@@ -132,18 +180,151 @@ func main() {
 	}
 	close(work)
 	wg.Wait()
-	elapsed := time.Since(wall)
+	res.wall = time.Since(wall)
+	return res
+}
 
-	ok := latencies.N()
-	fmt.Printf("loadgen: %d pulls in %s (%.0f pulls/s, %s/s), %d failed\n",
-		ok, elapsed.Round(time.Millisecond),
-		float64(ok)/elapsed.Seconds(),
-		report.FormatBytes(float64(bytes)/elapsed.Seconds()), errs)
-	if ok > 0 {
-		fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
-			latencies.Median(), latencies.P(90), latencies.P(99), latencies.Max())
+// clusterRun is one sweep point, shaped for the JSON report.
+type clusterRun struct {
+	Nodes     int     `json:"nodes"`
+	Replicas  int     `json:"replicas"`
+	Pulls     int     `json:"pulls"`
+	Failed    int     `json:"failed"`
+	WallS     float64 `json:"wall_s"`
+	PullsPerS float64 `json:"pulls_per_s"`
+	BytesPerS float64 `json:"bytes_per_s"`
+	HitRatio  float64 `json:"router_hit_ratio"`
+	Speedup   float64 `json:"speedup"`
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+}
+
+// clusterReport is the BENCH_cluster.json document.
+type clusterReport struct {
+	Scale         float64      `json:"scale"`
+	Seed          int64        `json:"seed"`
+	Workers       int          `json:"workers"`
+	NodeBandwidth int64        `json:"node_bandwidth_bytes_per_s"`
+	Runs          []clusterRun `json:"runs"`
+}
+
+// runClusterSweep materializes a synthetic Hub once, then replays one
+// identical trace through a fresh cluster at each node count.
+func runClusterSweep(nodesList string, scale float64, replicas int, nodeBW int64, pulls, workers int, seed int64, jsonPath string) {
+	var counts []int
+	for _, tok := range strings.Split(nodesList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad -cluster entry %q", tok))
+		}
+		counts = append(counts, n)
 	}
-	reportMirror(*mirrorURL, before)
+
+	ds, err := synth.Generate(synth.MaterializeSpec(scale))
+	if err != nil {
+		fatal(err)
+	}
+	src := registry.New(blobstore.NewMemory())
+	if _, err := synth.Materialize(ds, src); err != nil {
+		fatal(err)
+	}
+	repos := synth.Repositories(ds)
+
+	// Replay only pullable repositories (public, latest tag present): the
+	// sweep measures serving capacity, and every pull must succeed for the
+	// drain/replication guarantees to be checkable as failed == 0.
+	var names []string
+	var weights []int64
+	for i := range repos {
+		if repos[i].Private {
+			continue
+		}
+		if _, err := src.ResolveTag(repos[i].Name, "latest"); err != nil {
+			continue
+		}
+		w := repos[i].PullCount
+		if w < 1 {
+			w = 1
+		}
+		names = append(names, repos[i].Name)
+		weights = append(weights, w)
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no pullable repositories at scale %g", scale))
+	}
+	trace, err := popularity.Trace(weights, pulls, seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := clusterReport{Scale: scale, Seed: seed, Workers: workers, NodeBandwidth: nodeBW}
+	for _, n := range counts {
+		var g serve.Group
+		c, err := cluster.Launch(&g, cluster.Config{
+			Nodes:         n,
+			Replicas:      replicas,
+			NodeBandwidth: nodeBW,
+			// Pin the router's coalescing cache small so the sweep
+			// measures the nodes, not the router's memory.
+			CacheBytes: -1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.Seed(src, repos); err != nil {
+			fatal(err)
+		}
+		client := &registry.Client{Base: c.RouterURL(), HTTP: c.RouterClient()}
+		r := replay(client, names, trace, workers)
+		cs := c.CacheStats()
+		if err := g.Shutdown(context.Background()); err != nil {
+			fatal(err)
+		}
+
+		run := clusterRun{
+			Nodes:     n,
+			Replicas:  c.Replicas(),
+			Pulls:     r.lat.N(),
+			Failed:    r.failed,
+			WallS:     r.wall.Seconds(),
+			PullsPerS: float64(r.lat.N()) / r.wall.Seconds(),
+			BytesPerS: float64(r.bytes) / r.wall.Seconds(),
+			HitRatio:  cs.HitRatio(),
+		}
+		if r.lat.N() > 0 {
+			run.LatencyMS.P50 = r.lat.Median()
+			run.LatencyMS.P90 = r.lat.P(90)
+			run.LatencyMS.P99 = r.lat.P(99)
+			run.LatencyMS.Max = r.lat.Max()
+		}
+		run.Speedup = 1
+		if len(out.Runs) > 0 {
+			run.Speedup = run.BytesPerS / out.Runs[0].BytesPerS
+		}
+		out.Runs = append(out.Runs, run)
+		fmt.Printf("cluster n=%d r=%d: %d pulls in %s (%.0f pulls/s, %s/s aggregate, %.2fx), %d failed, router hit %.1f%%\n",
+			n, run.Replicas, run.Pulls, r.wall.Round(time.Millisecond), run.PullsPerS,
+			report.FormatBytes(run.BytesPerS), run.Speedup, run.Failed, 100*run.HitRatio)
+		if run.LatencyMS.P50 > 0 {
+			fmt.Printf("  latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+				run.LatencyMS.P50, run.LatencyMS.P90, run.LatencyMS.P99, run.LatencyMS.Max)
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
 }
 
 // mirrorStats mirrors the JSON shape of the mirror's /stats endpoint.

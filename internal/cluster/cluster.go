@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blobstore"
+	"repro/internal/cache"
+	"repro/internal/digest"
+	"repro/internal/httpx"
+	"repro/internal/manifest"
+	"repro/internal/mirror"
+	"repro/internal/registry"
+	"repro/internal/serve"
+)
+
+// DefaultReplicas is the replication factor when Config.Replicas <= 0:
+// two copies of everything, the minimum that lets one node drain with
+// zero failed requests.
+const DefaultReplicas = 2
+
+// DefaultRouterCacheBytes is the router's coalescing-cache budget when
+// Config.CacheBytes is 0. The cache exists mainly for singleflight — one
+// inter-node fetch per concurrently-requested blob — so it is deliberately
+// small next to a real working set.
+const DefaultRouterCacheBytes = 64 << 20
+
+// Config sizes a Cluster.
+type Config struct {
+	// Nodes is the registry node count (must be >= 1).
+	Nodes int
+	// Replicas is the copies kept of each blob/manifest/tag
+	// (DefaultReplicas when <= 0; capped at Nodes).
+	Replicas int
+	// VirtualNodes is the ring's per-node point count
+	// (DefaultVirtualNodes when <= 0).
+	VirtualNodes int
+	// CacheBytes is the router's coalescing-cache budget
+	// (DefaultRouterCacheBytes when 0). Negative disables admission
+	// entirely — concurrent identical fetches still coalesce, but every
+	// pull streams from a node — so benchmarks measure the nodes rather
+	// than the router's memory.
+	CacheBytes int64
+	// NodeBandwidth, when positive, paces each node's response writes to
+	// this many bytes/second — a stand-in for per-machine egress capacity,
+	// so aggregate pull throughput scales with node count even when every
+	// node shares one host.
+	NodeBandwidth int64
+	// MaxInFlight bounds concurrent requests per node (0 = unlimited).
+	MaxInFlight int
+	// DrainTimeout bounds graceful node shutdown (serve default when 0).
+	DrainTimeout time.Duration
+}
+
+// node is one registry member: its own store, its own listener.
+type node struct {
+	id  string // base URL once started; the ring member ID
+	reg *registry.Registry
+	srv *serve.Server
+}
+
+// Cluster is a horizontally sharded registry: N nodes, an R-replica
+// placement ring, and a stateless router fronting them.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	nodes  []*node
+	fan    *Fanout
+	cache  *cache.Cache
+	router *serve.Server
+}
+
+// Launch starts cfg.Nodes registry nodes plus the router, all mounted on
+// g (so the caller's one Shutdown drains the whole cluster).
+func Launch(g *serve.Group, cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = DefaultReplicas
+	}
+	if cfg.Replicas > cfg.Nodes {
+		cfg.Replicas = cfg.Nodes
+	}
+	switch {
+	case cfg.CacheBytes == 0:
+		cfg.CacheBytes = DefaultRouterCacheBytes
+	case cfg.CacheBytes < 0:
+		// A one-byte budget admits nothing: every blob is larger than the
+		// cache, so fills stream through uncached (still coalesced).
+		cfg.CacheBytes = 1
+	}
+
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes)}
+	// One tuned client shared by every per-node origin client: the router
+	// fans out to all nodes, so connection reuse across them matters.
+	nodeHTTP := &http.Client{Transport: httpx.NewTransport()}
+	clients := make(map[string]*registry.Client, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{reg: registry.New(blobstore.NewMemory())}
+		var h http.Handler = n.reg
+		if cfg.NodeBandwidth > 0 {
+			h = paced(h, newPacer(cfg.NodeBandwidth))
+		}
+		n.srv = &serve.Server{
+			Name:         fmt.Sprintf("node%d", i),
+			Handler:      h,
+			MaxInFlight:  cfg.MaxInFlight,
+			DrainTimeout: cfg.DrainTimeout,
+		}
+		// Never-used connections in the fan-out client's idle pool (dial
+		// races leave some) look in-flight to a node and stall its drain;
+		// drop them the moment any node begins shutting down.
+		n.srv.OnShutdown(nodeHTTP.CloseIdleConnections)
+		if err := g.Start(n.srv); err != nil {
+			return nil, err
+		}
+		n.id = n.srv.URL()
+		c.ring.Add(n.id)
+		clients[n.id] = &registry.Client{Base: n.id, HTTP: nodeHTTP}
+		c.nodes = append(c.nodes, n)
+	}
+
+	c.fan = NewFanout(c.ring, cfg.Replicas, clients)
+	c.cache = cache.New(blobstore.NewMemory(), cfg.CacheBytes)
+	c.router = &serve.Server{
+		Name:         "router",
+		Handler:      mirror.New(c.fan, c.cache),
+		MaxInFlight:  cfg.MaxInFlight,
+		DrainTimeout: cfg.DrainTimeout,
+	}
+	if err := g.Start(c.router); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// RouterURL returns the router's base URL — the single registry endpoint
+// clients talk to.
+func (c *Cluster) RouterURL() string { return c.router.URL() }
+
+// RouterClient returns a client with a dedicated transport for talking to
+// the router. Its idle connections are discarded when the router shuts
+// down, so a cluster teardown is never stalled by the client's pool.
+func (c *Cluster) RouterClient() *http.Client {
+	client := c.router.Client()
+	c.router.OnShutdown(client.CloseIdleConnections)
+	return client
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Replicas returns the effective replication factor.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// NodeRegistry exposes node i's registry, for tests asserting placement
+// and per-node serving counters.
+func (c *Cluster) NodeRegistry(i int) *registry.Registry { return c.nodes[i].reg }
+
+// NodeStats is one node's serving counters.
+type NodeStats struct {
+	ID       string         `json:"id"`
+	Registry registry.Stats `json:"registry"`
+}
+
+// Stats snapshots every node's counters.
+func (c *Cluster) Stats() []NodeStats {
+	out := make([]NodeStats, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = NodeStats{ID: n.id, Registry: n.reg.Stats()}
+	}
+	return out
+}
+
+// CacheStats snapshots the router's coalescing-cache counters.
+func (c *Cluster) CacheStats() cache.Stats { return c.cache.Stats() }
+
+// DrainNode gracefully shuts node i down: its listener closes, in-flight
+// requests complete, and from then on the router's fan-out falls through
+// to the node's replicas. The ring is left unchanged — the node is
+// drained, not decommissioned — so placement of the remaining copies is
+// undisturbed.
+func (c *Cluster) DrainNode(ctx context.Context, i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", i)
+	}
+	return c.nodes[i].srv.Shutdown(ctx)
+}
+
+// repoKey is the ring key for repository-scoped state (tags, by-tag
+// manifest serving). The prefix keeps it from ever colliding with a
+// digest key ("sha256:...").
+func repoKey(name string) string { return "repo/" + name }
+
+// Seed distributes a materialized registry across the cluster:
+//
+//   - repository metadata (name, privacy) is replicated to every node,
+//     because any node may be asked to authorize a blob or manifest GET;
+//   - every blob (layers and manifest blobs alike) is copied to the R
+//     owners of its digest;
+//   - tags land on the R owners of their repository key, together with
+//     the manifest blob they point at, so a by-tag manifest GET routed by
+//     repository resolves entirely on-node.
+func (c *Cluster) Seed(src *registry.Registry, repos []manifest.Repository) error {
+	private := make(map[string]bool, len(repos))
+	for i := range repos {
+		private[repos[i].Name] = repos[i].Private
+	}
+	names := src.Repos()
+	for _, name := range names {
+		for _, n := range c.nodes {
+			n.reg.CreateRepo(name, private[name])
+		}
+	}
+
+	store := src.Blobs()
+	for _, d := range store.Digests() {
+		for _, owner := range c.ring.Owners(d.String(), c.cfg.Replicas) {
+			if err := c.copyBlob(store, d, owner); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, name := range names {
+		tags, err := src.Tags(name)
+		if err != nil {
+			return err
+		}
+		owners := c.ring.Owners(repoKey(name), c.cfg.Replicas)
+		for _, tag := range tags {
+			md, err := src.ResolveTag(name, tag)
+			if err != nil {
+				return err
+			}
+			for _, owner := range owners {
+				if err := c.copyBlob(store, md, owner); err != nil {
+					return err
+				}
+				if err := c.nodeByID(owner).reg.SetTag(name, tag, md); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// copyBlob streams one blob from the source store into owner's store
+// (skipping blobs the owner already holds).
+func (c *Cluster) copyBlob(store blobstore.Store, d digest.Digest, owner string) error {
+	dst := c.nodeByID(owner).reg.Blobs()
+	if dst.Has(d) {
+		return nil
+	}
+	rc, _, err := store.Get(d)
+	if err != nil {
+		return fmt.Errorf("cluster: seeding %s: %w", d.Short(), err)
+	}
+	defer rc.Close()
+	if _, err := dst.PutStream(d, rc); err != nil {
+		return fmt.Errorf("cluster: seeding %s to %s: %w", d.Short(), owner, err)
+	}
+	return nil
+}
+
+func (c *Cluster) nodeByID(id string) *node {
+	for _, n := range c.nodes {
+		if n.id == id {
+			return n
+		}
+	}
+	panic("cluster: unknown node " + id) // ring members are exactly c.nodes
+}
+
+// Fanout is the router's mirror.Origin: it resolves each request's owner
+// set on the ring and tries the replicas in rotated order, falling
+// through to the next copy on transport errors and throttles. Definitive
+// origin answers — not found, unauthorized — are returned immediately:
+// every replica would say the same, and the study's failure taxonomy
+// (401 private, 404 no-latest) must classify identically to a single
+// registry.
+type Fanout struct {
+	ring     *Ring
+	replicas int
+	clients  map[string]*registry.Client
+	next     atomic.Uint64
+}
+
+var _ mirror.Origin = (*Fanout)(nil)
+
+// NewFanout builds a fan-out over the given ring and per-node clients
+// (keyed by ring member ID).
+func NewFanout(ring *Ring, replicas int, clients map[string]*registry.Client) *Fanout {
+	return &Fanout{ring: ring, replicas: replicas, clients: clients}
+}
+
+// authoritative reports whether err is a definitive origin answer that
+// retrying on another replica cannot change.
+func authoritative(err error) bool {
+	return errors.Is(err, registry.ErrNotFound) ||
+		errors.Is(err, registry.ErrUnauthorized) ||
+		errors.Is(err, registry.ErrRangeUnsatisfiable)
+}
+
+// fanout tries op against each owner of key, starting at a rotating
+// offset so read load spreads across replicas.
+func fanout[T any](f *Fanout, key string, op func(c *registry.Client) (T, error)) (T, error) {
+	var zero T
+	owners := f.ring.Owners(key, f.replicas)
+	if len(owners) == 0 {
+		return zero, fmt.Errorf("cluster: empty ring: %w", registry.ErrNotFound)
+	}
+	start := int(f.next.Add(1)-1) % len(owners)
+	var lastErr error
+	for i := 0; i < len(owners); i++ {
+		c := f.clients[owners[(start+i)%len(owners)]]
+		v, err := op(c)
+		if err == nil {
+			return v, nil
+		}
+		if authoritative(err) {
+			return zero, err
+		}
+		lastErr = err
+	}
+	return zero, fmt.Errorf("cluster: all %d replicas failed: %w", len(owners), lastErr)
+}
+
+// TagsContext lists tags from a replica of the repository's owner set.
+func (f *Fanout) TagsContext(ctx context.Context, name string) ([]string, error) {
+	return fanout(f, repoKey(name), func(c *registry.Client) ([]string, error) {
+		return c.TagsContext(ctx, name)
+	})
+}
+
+type rawManifest struct {
+	raw []byte
+	d   digest.Digest
+}
+
+// ManifestRawContext fetches a manifest: by-digest requests route on the
+// digest's owners, by-tag requests on the repository's owners (only those
+// nodes hold the tag).
+func (f *Fanout) ManifestRawContext(ctx context.Context, name, ref string) ([]byte, digest.Digest, error) {
+	key := repoKey(name)
+	if d, err := digest.Parse(ref); err == nil {
+		key = d.String()
+	}
+	m, err := fanout(f, key, func(c *registry.Client) (rawManifest, error) {
+		raw, d, err := c.ManifestRawContext(ctx, name, ref)
+		return rawManifest{raw, d}, err
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return m.raw, m.d, nil
+}
+
+type blobStream struct {
+	rc   io.ReadCloser
+	size int64
+}
+
+// BlobContext opens a blob from a replica of the digest's owner set.
+func (f *Fanout) BlobContext(ctx context.Context, name string, d digest.Digest) (io.ReadCloser, int64, error) {
+	s, err := fanout(f, d.String(), func(c *registry.Client) (blobStream, error) {
+		rc, size, err := c.BlobContext(ctx, name, d)
+		return blobStream{rc, size}, err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return s.rc, s.size, nil
+}
+
+// BlobStatContext stats a blob on a replica of the digest's owner set.
+func (f *Fanout) BlobStatContext(ctx context.Context, name string, d digest.Digest) (int64, error) {
+	return fanout(f, d.String(), func(c *registry.Client) (int64, error) {
+		return c.BlobStatContext(ctx, name, d)
+	})
+}
+
+// pacer rations a node's egress to a fixed byte rate using virtual-time
+// reservations: each write books the interval its bytes occupy at the
+// target rate and sleeps until its reservation ends. All of a node's
+// connections share one pacer, so the node's *aggregate* rate is capped —
+// the shape of a machine's NIC, which is what makes pull throughput scale
+// with node count in a single-host study.
+type pacer struct {
+	bps int64
+
+	mu   sync.Mutex
+	next time.Time
+}
+
+func newPacer(bps int64) *pacer { return &pacer{bps: bps} }
+
+// reserve books n bytes and returns how long the caller must wait before
+// its write is "on the wire".
+func (p *pacer) reserve(n int) time.Duration {
+	d := time.Duration(float64(n) / float64(p.bps) * float64(time.Second))
+	now := time.Now()
+	p.mu.Lock()
+	if p.next.Before(now) {
+		p.next = now
+	}
+	p.next = p.next.Add(d)
+	wait := p.next.Sub(now)
+	p.mu.Unlock()
+	return wait
+}
+
+// paced wraps a handler so response bodies drain at the pacer's rate.
+func paced(h http.Handler, p *pacer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		h.ServeHTTP(&pacedWriter{w: w, p: p, ctx: req.Context()}, req)
+	})
+}
+
+type pacedWriter struct {
+	w   http.ResponseWriter
+	p   *pacer
+	ctx context.Context
+}
+
+func (pw *pacedWriter) Header() http.Header  { return pw.w.Header() }
+func (pw *pacedWriter) WriteHeader(code int) { pw.w.WriteHeader(code) }
+
+func (pw *pacedWriter) Write(b []byte) (int, error) {
+	if wait := pw.p.reserve(len(b)); wait > 0 {
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-pw.ctx.Done():
+			t.Stop()
+			return 0, pw.ctx.Err()
+		}
+	}
+	return pw.w.Write(b)
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestClusterRunsBitIdentical: sharding the registry across a
+// consistent-hash cluster — at one node and at four with two replicas —
+// must leave every rendered figure bit-identical to the direct wire run.
+// The router is a transparent front: same bytes, same failure taxonomy.
+func TestClusterRunsBitIdentical(t *testing.T) {
+	spec := synth.MaterializeSpec(0.0001)
+	direct, err := (&Study{Spec: spec, Workers: 4}).RunWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := figureText(direct)
+	if want == "" {
+		t.Fatal("direct wire run rendered no figures")
+	}
+
+	for _, c := range []struct {
+		name     string
+		nodes    int
+		replicas int
+	}{
+		{"n1", 1, 1},
+		{"n4-r2", 4, 2},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := (&Study{
+				Spec: spec, Workers: 4,
+				ClusterNodes: c.nodes, ClusterReplicas: c.replicas,
+			}).RunWire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := figureText(res); got != want {
+				t.Error("clustered run figures differ from direct wire run")
+			}
+			if len(res.ClusterStats) != c.nodes {
+				t.Fatalf("ClusterStats has %d nodes, want %d", len(res.ClusterStats), c.nodes)
+			}
+			var nodeBlobGets int64
+			served := 0
+			for _, ns := range res.ClusterStats {
+				nodeBlobGets += ns.Registry.BlobGets
+				if ns.Registry.BlobGets > 0 {
+					served++
+				}
+			}
+			if nodeBlobGets == 0 {
+				t.Error("no node served a blob — traffic did not flow through the cluster")
+			}
+			if c.nodes > 1 && served < 2 {
+				t.Errorf("only %d of %d nodes served blobs — placement did not shard", served, c.nodes)
+			}
+			if res.RouterStats == nil {
+				t.Fatal("clustered run has no RouterStats")
+			}
+			// Cluster mode fuses with the regular pipeline: every public
+			// latest image still downloads.
+			if res.Download.Stats.Downloaded != len(res.Dataset.Images) {
+				t.Errorf("downloaded %d, want %d", res.Download.Stats.Downloaded, len(res.Dataset.Images))
+			}
+		})
+	}
+}
+
+// TestClusterStageRecorded: the cluster stage appears in the run's stage
+// results exactly when configured, and composes with the mirror stage
+// (mirror over router).
+func TestClusterStageRecorded(t *testing.T) {
+	spec := synth.MaterializeSpec(0.0001)
+	res, err := (&Study{
+		Spec: spec, Workers: 4,
+		ClusterNodes: 2, MirrorCacheBytes: 8 << 20,
+	}).RunWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range res.Stages {
+		names = append(names, s.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "cluster") || !strings.Contains(joined, "mirror") {
+		t.Fatalf("stage list %q missing cluster/mirror stages", joined)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/crawler"
 	"repro/internal/dedup"
 	"repro/internal/downloader"
@@ -61,6 +62,14 @@ type Study struct {
 	// MirrorWarm pre-pulls every crawled repository through the mirror
 	// before the measured download stage, so it runs against a warm cache.
 	MirrorWarm bool
+	// ClusterNodes, when positive, shards the materialized registry
+	// across that many nodes behind a consistent-hash router (wire mode
+	// only); the study pulls through the router. Figures stay
+	// bit-identical to a direct wire run.
+	ClusterNodes int
+	// ClusterReplicas is the copies kept of each blob/tag in cluster mode
+	// (cluster.DefaultReplicas when 0, capped at ClusterNodes).
+	ClusterReplicas int
 }
 
 // Result is everything a study produces.
@@ -81,6 +90,11 @@ type Result struct {
 	// MirrorStats snapshots the pull-through cache's counters at the end
 	// of a mirrored run (nil when no mirror was configured).
 	MirrorStats *cache.Stats
+	// ClusterStats snapshots each cluster node's serving counters and
+	// RouterStats the router's coalescing-cache counters at the end of a
+	// clustered run (nil/empty when no cluster was configured).
+	ClusterStats []cluster.NodeStats
+	RouterStats  *cache.Stats
 }
 
 // Env builds the study's shared run environment.
@@ -114,6 +128,9 @@ func (s *Study) RunWire() (*Result, error) {
 // transfers abort, the servers drain, and the run returns ctx's error.
 func (s *Study) RunWireContext(ctx context.Context) (*Result, error) {
 	stages := []engine.Stage[*State]{stageGenerate, stageMaterialize, stageServe}
+	if s.ClusterNodes > 0 {
+		stages = append(stages, newClusterStage(s.ClusterNodes, s.ClusterReplicas))
+	}
 	if s.MirrorCacheBytes > 0 {
 		stages = append(stages, newMirrorStage(s.MirrorCacheBytes))
 	}
@@ -162,6 +179,11 @@ func (s *Study) run(ctx context.Context, stages []engine.Stage[*State]) (*Result
 	if st.MirrorCache != nil {
 		stats := st.MirrorCache.Stats()
 		res.MirrorStats = &stats
+	}
+	if st.Cluster != nil {
+		res.ClusterStats = st.Cluster.Stats()
+		stats := st.Cluster.CacheStats()
+		res.RouterStats = &stats
 	}
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/analyzer"
 	"repro/internal/blobstore"
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/crawler"
 	"repro/internal/downloader"
 	"repro/internal/engine"
@@ -43,11 +44,14 @@ type State struct {
 	SearchURL   string
 	// Sink receives downloaded layer blobs (stages download / fused).
 	Sink blobstore.Store
-	// OriginURL preserves the registry's direct URL when stage mirror
-	// repoints RegistryURL at the pull-through cache; MirrorCache is that
+	// OriginURL preserves the registry's direct URL when stage mirror or
+	// stage cluster repoints RegistryURL; MirrorCache is the mirror's
 	// cache (stage mirror).
 	OriginURL   string
 	MirrorCache *cache.Cache
+	// Cluster is the sharded registry cluster when the study runs against
+	// one (stage cluster).
+	Cluster *cluster.Cluster
 
 	// Outputs.
 	Crawl    *crawler.Result
@@ -143,6 +147,35 @@ func newMirrorStage(cacheBytes int64) engine.Stage[*State] {
 		st.OriginURL = st.RegistryURL
 		st.RegistryURL = srv.URL()
 		st.HTTP = srv.Client()
+		return nil
+	})
+}
+
+// newClusterStage shards the materialized registry across a consistent-
+// hash cluster and repoints the study at its router: node servers and the
+// router mount on the run's serve group, every blob/manifest/tag is
+// seeded onto its R ring owners, and later stages pull through the
+// router's replica fan-out. The figures must stay bit-identical to a
+// direct wire run — the router re-serves node bytes verbatim and maps
+// errors to the same taxonomy (401 private, 404 missing).
+func newClusterStage(nodes, replicas int) engine.Stage[*State] {
+	return engine.NewStage("cluster", func(ctx context.Context, st *State) error {
+		c, err := cluster.Launch(st.Servers, cluster.Config{
+			Nodes:        nodes,
+			Replicas:     replicas,
+			MaxInFlight:  st.Env.MaxInFlight,
+			DrainTimeout: st.Env.DrainTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		if err := c.Seed(st.Registry, synth.Repositories(st.Dataset)); err != nil {
+			return err
+		}
+		st.Cluster = c
+		st.OriginURL = st.RegistryURL
+		st.RegistryURL = c.RouterURL()
+		st.HTTP = c.RouterClient()
 		return nil
 	})
 }

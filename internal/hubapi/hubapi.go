@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/httpx"
 	"repro/internal/manifest"
 )
 
@@ -185,7 +186,9 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	// Shared tuned transport: the crawler pages this API with a worker
+	// pool, which the 2-idle-conns-per-host default transport throttles.
+	return httpx.DefaultClient
 }
 
 // SearchPage fetches one page of results for query.

@@ -35,15 +35,30 @@ import (
 	"repro/internal/registry"
 )
 
+// Origin is the upstream a Mirror fills misses from. registry.Client is
+// the canonical implementation (one origin registry over HTTP); the
+// cluster router substitutes a replica fan-out that tries each owner node
+// in turn. Implementations must return the registry client's typed errors
+// (registry.ErrNotFound, registry.ErrUnauthorized, *registry.ThrottleError)
+// so the mirror's error envelope and negative caching keep working.
+type Origin interface {
+	TagsContext(ctx context.Context, name string) ([]string, error)
+	ManifestRawContext(ctx context.Context, name, ref string) ([]byte, digest.Digest, error)
+	BlobContext(ctx context.Context, name string, d digest.Digest) (io.ReadCloser, int64, error)
+	BlobStatContext(ctx context.Context, name string, d digest.Digest) (int64, error)
+}
+
+var _ Origin = (*registry.Client)(nil)
+
 // Mirror is the pull-through caching registry front. It implements
 // http.Handler and speaks the same /v2/ dialect as internal/registry.
 type Mirror struct {
-	Origin *registry.Client
+	Origin Origin
 	Cache  *cache.Cache
 }
 
-// New assembles a mirror over an origin client and a cache.
-func New(origin *registry.Client, c *cache.Cache) *Mirror {
+// New assembles a mirror over an origin and a cache.
+func New(origin Origin, c *cache.Cache) *Mirror {
 	return &Mirror{Origin: origin, Cache: c}
 }
 

@@ -2,16 +2,30 @@ package registry
 
 import (
 	"math/rand"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/blobstore"
+	"repro/internal/httpx"
 	"repro/internal/manifest"
 )
 
 // benchRegistry builds a registry with n single-layer images of layerSize
-// bytes each.
+// bytes each and serves it.
 func benchRegistry(b *testing.B, n int, layerSize int) (*httptest.Server, []string) {
+	b.Helper()
+	reg, repos := benchPopulated(b, n, layerSize)
+	srv := httptest.NewServer(reg)
+	b.Cleanup(srv.Close)
+	return srv, repos
+}
+
+// benchPopulated builds the registry without serving it.
+func benchPopulated(b *testing.B, n int, layerSize int) (*Registry, []string) {
 	b.Helper()
 	reg := New(blobstore.NewMemory())
 	rng := rand.New(rand.NewSource(1))
@@ -42,9 +56,7 @@ func benchRegistry(b *testing.B, n int, layerSize int) (*httptest.Server, []stri
 		}
 		repos[i] = name
 	}
-	srv := httptest.NewServer(reg)
-	b.Cleanup(srv.Close)
-	return srv, repos
+	return reg, repos
 }
 
 // BenchmarkHTTPPull measures full image pulls (manifest + layer, verified)
@@ -108,5 +120,70 @@ func BenchmarkHTTPPush(b *testing.B) {
 		if _, err := c.PushBlob("bench/push", content); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTransportIdleConns quantifies the idle-connection fallback fix:
+// a shared client with http.DefaultTransport's 2-idle-conns-per-host cap
+// versus the tuned httpx transport, under a 16-way fan-out of blob pulls
+// against one host — the shape of every download/load-generation worker
+// pool in this repo. Each worker "thinks" for ~1ms between pulls (the
+// downloader hashes and walks each layer it fetches), so its connection
+// sits idle between requests: with the 2-conn cap the pool overflows, all
+// but two workers' connections are torn down, and every following request
+// pays a fresh TCP dial. The conns/op metric makes the churn explicit.
+func BenchmarkTransportIdleConns(b *testing.B) {
+	const layerSize = 16 << 10
+	for _, tc := range []struct {
+		name   string
+		client func() *http.Client
+	}{
+		{"default-2-idle", func() *http.Client {
+			// http.DefaultClient's effective per-host idle cap.
+			return &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+		}},
+		{"tuned", func() *http.Client {
+			return &http.Client{Transport: httpx.NewTransport()}
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			reg, repos := benchPopulated(b, 16, layerSize)
+			// Count TCP connections the client opens: idle-cap churn shows
+			// up as a reconnect per request, wasting handshakes and burning
+			// client ports.
+			var conns atomic.Int64
+			srv := httptest.NewUnstartedServer(reg)
+			srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+				if s == http.StateNew {
+					conns.Add(1)
+				}
+			}
+			srv.Start()
+			b.Cleanup(srv.Close)
+			client := tc.client()
+			b.SetBytes(layerSize)
+			b.ReportAllocs()
+			b.SetParallelism(16) // 16 × GOMAXPROCS goroutines: a real fan-out
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := &Client{Base: srv.URL, HTTP: client}
+				i := 0
+				for pb.Next() {
+					repo := repos[i%len(repos)]
+					i++
+					m, _, err := c.Manifest(repo, "latest")
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := c.BlobVerified(repo, m.Layers[0].Digest); err != nil {
+						b.Fatal(err)
+					}
+					// Post-pull work (hash/walk in the real pipeline): the
+					// connection idles here, which is when the cap evicts it.
+					time.Sleep(time.Millisecond)
+				}
+			})
+			b.ReportMetric(float64(conns.Load())/float64(b.N), "conns/op")
+		})
 	}
 }

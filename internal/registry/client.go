@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/digest"
+	"repro/internal/httpx"
 	"repro/internal/manifest"
 )
 
@@ -109,7 +110,10 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	// Not http.DefaultClient: its transport keeps only 2 idle connections
+	// per host, which forces a reconnect per request once more than two
+	// workers fan out against one registry.
+	return httpx.DefaultClient
 }
 
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {

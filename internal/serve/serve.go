@@ -16,6 +16,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/httpx"
 )
 
 // DefaultDrainTimeout bounds graceful shutdown when Server.DrainTimeout
@@ -42,10 +44,26 @@ type Server struct {
 	// when 0).
 	DrainTimeout time.Duration
 
-	mu   sync.Mutex
-	ln   net.Listener
-	srv  *http.Server
-	done chan struct{} // closed when Serve returns
+	mu         sync.Mutex
+	ln         net.Listener
+	srv        *http.Server
+	done       chan struct{} // closed when Serve returns
+	onShutdown []func()
+}
+
+// OnShutdown registers f to run when Shutdown begins, before the drain
+// completes (http.Server.RegisterOnShutdown semantics). The cluster uses
+// this to discard client-side idle connections into a draining node:
+// connections the client dialed but never used look in-flight to the
+// server and would otherwise stall the drain for seconds.
+func (s *Server) OnShutdown(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.srv != nil {
+		s.srv.RegisterOnShutdown(f)
+		return
+	}
+	s.onShutdown = append(s.onShutdown, f)
 }
 
 // Start binds the listener and begins serving in a background goroutine.
@@ -73,6 +91,9 @@ func (s *Server) Start() error {
 	h = Recovered(h)
 	s.ln = ln
 	s.srv = &http.Server{Handler: h}
+	for _, f := range s.onShutdown {
+		s.srv.RegisterOnShutdown(f)
+	}
 	s.done = make(chan struct{})
 	go func(srv *http.Server, ln net.Listener, done chan struct{}) {
 		defer close(done)
@@ -100,11 +121,11 @@ func (s *Server) URL() string {
 	return "http://" + s.ln.Addr().String()
 }
 
-// Client returns an HTTP client with a dedicated transport, so shutting
-// the service down can also discard the client's idle keep-alive
-// connections instead of waiting on them.
+// Client returns an HTTP client with a dedicated transport (tuned like
+// httpx.NewTransport), so shutting the service down can also discard the
+// client's idle keep-alive connections instead of waiting on them.
 func (s *Server) Client() *http.Client {
-	return &http.Client{Transport: &http.Transport{}}
+	return &http.Client{Transport: httpx.NewTransport()}
 }
 
 // Shutdown gracefully stops the service: the listener closes to new

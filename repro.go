@@ -65,6 +65,15 @@ type Options struct {
 	// MirrorWarm pre-pulls every crawled repository through the mirror
 	// before the measured download, so it runs against a warm cache.
 	MirrorWarm bool
+	// ClusterNodes, when positive, shards the materialized registry
+	// across that many nodes behind a consistent-hash router
+	// (internal/cluster) and pulls through it (wire mode only). Figures
+	// are bit-identical to a direct wire run; per-node serving counters
+	// land in Result.ClusterStats.
+	ClusterNodes int
+	// ClusterReplicas is the copies kept of each blob/tag in cluster mode
+	// (2 when 0, capped at ClusterNodes).
+	ClusterReplicas int
 }
 
 // Result re-exports the study outcome.
@@ -104,6 +113,8 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		Fused:            opts.Fused,
 		MirrorCacheBytes: opts.MirrorCacheBytes,
 		MirrorWarm:       opts.MirrorWarm,
+		ClusterNodes:     opts.ClusterNodes,
+		ClusterReplicas:  opts.ClusterReplicas,
 	}
 	if opts.Wire {
 		return study.RunWireContext(ctx)
