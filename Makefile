@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-scaling bench-smoke ci
+.PHONY: all build vet lint test race race-full bench bench-scaling bench-smoke ci
 
 all: build
 
@@ -14,13 +14,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static hygiene: vet plus a gofmt check that fails loudly on any
-# unformatted file instead of silently printing names.
+# Static hygiene: vet, a gofmt check that fails loudly on any
+# unformatted file instead of silently printing names, and the project's
+# own analyzers (internal/lintrules via cmd/repolint) — determinism,
+# transport, context, and error-envelope conventions enforced
+# mechanically. See DESIGN.md, "Enforced invariants".
 lint: vet
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+	$(GO) run ./cmd/repolint ./...
 
 test:
 	$(GO) test ./...
@@ -28,7 +32,12 @@ test:
 # Race-check the packages with concurrent machinery. Kept narrower than
 # ./... so the gate stays fast enough to run on every change.
 race:
-	$(GO) test -race ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/downloader ./internal/registry ./internal/pipeline ./internal/engine ./internal/serve ./internal/cache ./internal/mirror ./internal/cluster
+	$(GO) test -race ./internal/core ./internal/dedup ./internal/analyzer ./internal/tarutil ./internal/stats ./internal/blobstore ./internal/sema ./internal/httpx ./internal/downloader ./internal/registry ./internal/pipeline ./internal/engine ./internal/serve ./internal/cache ./internal/mirror ./internal/cluster
+
+# Race-check everything, including the root package's streaming
+# benchmarks' fixtures (slower; not part of `make ci`).
+race-full:
+	$(GO) test -race ./...
 
 # Full benchmark sweep (slow).
 bench:

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/blobstore"
 	"repro/internal/cluster"
+	"repro/internal/httpx"
 	"repro/internal/hubapi"
 	"repro/internal/popularity"
 	"repro/internal/registry"
@@ -342,7 +343,7 @@ type mirrorStats struct {
 
 func fetchMirrorStats(base string) (mirrorStats, error) {
 	var s mirrorStats
-	resp, err := http.Get(base + "/stats")
+	resp, err := httpx.DefaultClient.Get(base + "/stats")
 	if err != nil {
 		return s, err
 	}

@@ -1,0 +1,17 @@
+// Package core seeds one violation per wall-clock rule: badmod's
+// internal/core matches the deterministic-package scope by path
+// fragment, exactly as repro/internal/core does.
+package core
+
+import "time"
+
+// Stamp trips noadhocclock: bare time.Now in a deterministic package.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Sanctioned carries a suppression so the smoke test can assert the
+// suppressed count alongside the live one.
+func Sanctioned() time.Time {
+	return time.Now() //lint:allow noadhocclock badmod's designated clock seam
+}

@@ -1,0 +1,10 @@
+// Package mirror seeds an errenvelope violation: badmod's
+// internal/mirror matches the Registry v2 handler scope.
+package mirror
+
+import "net/http"
+
+// Handle trips errenvelope with a plain-text http.Error.
+func Handle(w http.ResponseWriter, req *http.Request) {
+	http.Error(w, "not found", http.StatusNotFound)
+}

@@ -1,0 +1,25 @@
+// Package synth seeds the remaining rules: a global RNG draw, a
+// default-client fetch, and a context drop.
+package synth
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+)
+
+// Roll trips noglobalrand.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Fetch trips nodefaultclient.
+func Fetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}
+
+// Detach trips ctxpropagate: a fresh root inside a context-receiving
+// function.
+func Detach(ctx context.Context) context.Context {
+	return context.Background()
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/blobstore"
 	"repro/internal/cache"
 	"repro/internal/digest"
+	"repro/internal/engine"
 	"repro/internal/httpx"
 	"repro/internal/manifest"
 	"repro/internal/mirror"
@@ -54,6 +55,9 @@ type Config struct {
 	NodeBandwidth int64
 	// MaxInFlight bounds concurrent requests per node (0 = unlimited).
 	MaxInFlight int
+	// Now is the pacer's clock seam (engine.SystemNow when nil); tests
+	// inject a fake clock to drive virtual-time pacing.
+	Now func() time.Time
 	// DrainTimeout bounds graceful node shutdown (serve default when 0).
 	DrainTimeout time.Duration
 }
@@ -106,7 +110,7 @@ func Launch(g *serve.Group, cfg Config) (*Cluster, error) {
 		n := &node{reg: registry.New(blobstore.NewMemory())}
 		var h http.Handler = n.reg
 		if cfg.NodeBandwidth > 0 {
-			h = paced(h, newPacer(cfg.NodeBandwidth))
+			h = paced(h, newPacer(cfg.NodeBandwidth, cfg.Now))
 		}
 		n.srv = &serve.Server{
 			Name:         fmt.Sprintf("node%d", i),
@@ -396,18 +400,26 @@ func (f *Fanout) BlobStatContext(ctx context.Context, name string, d digest.Dige
 // with node count in a single-host study.
 type pacer struct {
 	bps int64
+	// now is the clock seam (engine.SystemNow in production); the pacer
+	// books reservations against it, so tests can drive virtual time.
+	now func() time.Time
 
 	mu   sync.Mutex
 	next time.Time
 }
 
-func newPacer(bps int64) *pacer { return &pacer{bps: bps} }
+func newPacer(bps int64, now func() time.Time) *pacer {
+	if now == nil {
+		now = engine.SystemNow
+	}
+	return &pacer{bps: bps, now: now}
+}
 
 // reserve books n bytes and returns how long the caller must wait before
 // its write is "on the wire".
 func (p *pacer) reserve(n int) time.Duration {
 	d := time.Duration(float64(n) / float64(p.bps) * float64(time.Second))
-	now := time.Now()
+	now := p.now()
 	p.mu.Lock()
 	if p.next.Before(now) {
 		p.next = now
@@ -436,12 +448,8 @@ func (pw *pacedWriter) WriteHeader(code int) { pw.w.WriteHeader(code) }
 
 func (pw *pacedWriter) Write(b []byte) (int, error) {
 	if wait := pw.p.reserve(len(b)); wait > 0 {
-		t := time.NewTimer(wait)
-		select {
-		case <-t.C:
-		case <-pw.ctx.Done():
-			t.Stop()
-			return 0, pw.ctx.Err()
+		if err := engine.SleepContext(pw.ctx, wait); err != nil {
+			return 0, err
 		}
 	}
 	return pw.w.Write(b)

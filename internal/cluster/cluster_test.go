@@ -299,7 +299,7 @@ func TestClusterDrainUnderLoadZeroFailures(t *testing.T) {
 
 // The pacer must cap a node's aggregate egress near the configured rate.
 func TestPacerCapsRate(t *testing.T) {
-	p := newPacer(1 << 20) // 1 MiB/s
+	p := newPacer(1<<20, nil) // 1 MiB/s, system clock
 	start := time.Now()
 	var wg sync.WaitGroup
 	var slept atomic.Int64

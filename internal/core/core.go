@@ -157,9 +157,11 @@ func (s *Study) run(ctx context.Context, stages []engine.Stage[*State]) (*Result
 
 	stageResults, err := runner.Run(ctx, st)
 	if st.Servers != nil {
-		// Shutdown uses a fresh context: a cancelled run must still drain
-		// its servers under the drain timeout rather than skip the drain.
-		if serr := st.Servers.Shutdown(context.Background()); err == nil && serr != nil {
+		// A cancelled run must still drain its servers under the drain
+		// timeout rather than skip the drain, so the shutdown context
+		// drops ctx's cancellation but keeps its lineage; each server
+		// bounds its own drain with DrainTimeout.
+		if serr := st.Servers.Shutdown(context.WithoutCancel(ctx)); err == nil && serr != nil {
 			err = fmt.Errorf("core: shutting down servers: %w", serr)
 		}
 	}

@@ -71,6 +71,7 @@ func (st *State) newDownloader() *downloader.Downloader {
 		Client:  &registry.Client{Base: st.RegistryURL, HTTP: st.HTTP},
 		Workers: st.Env.WorkerCount(),
 		Store:   st.Sink,
+		Seed:    st.Env.Seed,
 	}
 }
 
@@ -241,7 +242,7 @@ var stageAnalyze = engine.NewStage("analyze", func(ctx context.Context, st *Stat
 // walked while it streams off the wire.
 var stageFused = engine.NewStage("download+analyze", func(ctx context.Context, st *State) error {
 	dl := st.newDownloader()
-	res, err := pipeline.Run(ctx, dl, st.Crawl.Repos)
+	res, err := pipeline.RunEnv(ctx, st.Env, dl, st.Crawl.Repos)
 	if err != nil {
 		return fmt.Errorf("fused download+analyze: %w", err)
 	}

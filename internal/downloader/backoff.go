@@ -1,9 +1,9 @@
 package downloader
 
 import (
-	"context"
-	"math/rand"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Backoff computes jittered exponential retry delays. The zero value uses
@@ -21,7 +21,10 @@ type Backoff struct {
 }
 
 // Delay returns the pause before retry `attempt` (1-based). rnd supplies
-// uniform randomness in [0, 1); nil uses the global source.
+// uniform randomness in [0, 1) — in production a seeded stream (the
+// Downloader derives one from its Seed); nil takes the midpoint of the
+// jitter band deterministically, so no caller ever touches the
+// process-global RNG.
 func (b Backoff) Delay(attempt int, rnd func() float64) time.Duration {
 	base := b.Base
 	if base < 0 {
@@ -53,29 +56,13 @@ func (b Backoff) Delay(attempt int, rnd func() float64) time.Duration {
 		jitter = 0.5
 	}
 	if rnd == nil {
-		rnd = rand.Float64
+		rnd = func() float64 { return 0.5 }
 	}
 	// Uniform in [(1-jitter)·d, d].
 	return time.Duration(float64(d) * (1 - jitter*rnd()))
 }
 
-// sleep pauses for d or until ctx is done, whichever comes first. It is a
-// variable so tests can substitute a fake clock.
-var sleepCtx = func(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		default:
-			return nil
-		}
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
+// sleepCtx pauses for d or until ctx is done, whichever comes first. It
+// is a variable so tests can substitute a fake clock; the real
+// implementation is the engine's sanctioned sleep seam.
+var sleepCtx = engine.SleepContext

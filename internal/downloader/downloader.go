@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,6 +86,11 @@ type Downloader struct {
 	// Backoff schedules the pause between retries (jittered exponential;
 	// the zero value uses sane defaults — see Backoff).
 	Backoff Backoff
+	// Seed seeds the backoff jitter stream (the engine seed-offset
+	// pattern: pass Env.Seed plus a subsystem offset). Jitter only shifts
+	// retry timing, never figures, but drawing it from a seeded stream
+	// keeps runs replayable; 0 is a valid seed.
+	Seed int64
 	// LayerTee, when set, receives every unique layer's byte stream as it
 	// crosses the wire — the hook the fused download→analyze pipeline
 	// attaches to. The reader yields exactly the bytes being stored; it
@@ -97,6 +103,34 @@ type Downloader struct {
 	// sleep and rnd are test seams for the backoff schedule.
 	sleep func(ctx context.Context, d time.Duration) error
 	rnd   func() float64
+
+	// seededRnd is the lazily built production jitter stream (see
+	// jitter); rndOnce guards its one-time construction.
+	rndOnce   sync.Once
+	seededRnd func() float64
+}
+
+// backoffSeedOffset separates the backoff jitter stream from every other
+// consumer of the run seed (the engine seed-offset convention).
+const backoffSeedOffset = 0xb0ff
+
+// jitter resolves the backoff randomness source: the test seam when set,
+// otherwise a stream seeded from Seed+backoffSeedOffset, built once and
+// serialized by a mutex because layer transfers back off concurrently.
+func (d *Downloader) jitter() func() float64 {
+	if d.rnd != nil {
+		return d.rnd
+	}
+	d.rndOnce.Do(func() {
+		src := rand.New(rand.NewSource(d.Seed + backoffSeedOffset))
+		var mu sync.Mutex
+		d.seededRnd = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return src.Float64()
+		}
+	})
+	return d.seededRnd
 }
 
 // retryable reports whether an error class is worth retrying. Auth,
@@ -493,7 +527,7 @@ func (d *Downloader) backoffSleep(ctx context.Context, attempt int, lastErr erro
 	if sleep == nil {
 		sleep = sleepCtx
 	}
-	delay := d.Backoff.Delay(attempt, d.rnd)
+	delay := d.Backoff.Delay(attempt, d.jitter())
 	if hint := registry.RetryAfterHint(lastErr); hint > delay {
 		delay = hint
 	}

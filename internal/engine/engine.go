@@ -66,11 +66,46 @@ func (e *Env) RNG(offset int64) *rand.Rand {
 	return rand.New(rand.NewSource(e.Seed + offset))
 }
 
-func (e *Env) now() time.Time {
-	if e.Now != nil {
-		return e.Now()
+func (e *Env) now() time.Time { return e.Clock()() }
+
+// Clock resolves the environment's time source: the injected Now when
+// set, the system clock otherwise. Deterministic packages that need wall
+// times (stage timing, fused-pipeline phase splits) read time through
+// this seam so a fake clock governs the whole run in tests.
+func (e *Env) Clock() func() time.Time {
+	if e != nil && e.Now != nil {
+		return e.Now
 	}
-	return time.Now()
+	return SystemNow
+}
+
+// SystemNow is the real clock behind Env.Clock's nil default — the one
+// sanctioned wall-clock read in the deterministic packages (the
+// noadhocclock lint rule forbids bare time.Now there).
+func SystemNow() time.Time {
+	return time.Now() //lint:allow noadhocclock the clock seam's single real implementation
+}
+
+// SleepContext pauses for d or until ctx is done, whichever comes first
+// — the sanctioned sleep primitive for deterministic packages (pacers,
+// retry backoff). It returns ctx's error when the wait was cut short.
+func SleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	t := time.NewTimer(d) //lint:allow noadhocclock the sleep seam's single real implementation
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Stage is one named step of a run. Run mutates the shared state and

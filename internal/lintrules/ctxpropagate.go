@@ -1,0 +1,123 @@
+package lintrules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPropagate guards the cancellation plumbing PR 3 threaded end to
+// end: inside any function that has a context.Context in scope (its own
+// parameter or an enclosing function's), it is a violation to
+//
+//   - mint a fresh root with context.Background()/context.TODO(), or
+//   - call a non-Context method or function when a Context-taking
+//     sibling exists (e.g. BlobStat where BlobStatContext does),
+//
+// because both silently detach the work from the caller's cancellation.
+// cmd/ binaries (which own their root context) and tests are out of
+// scope, and the documented compat shims are naturally exempt: a shim
+// like Client.Tags has no context parameter, so the rule never looks
+// inside it. A deliberate detach (e.g. draining servers after the run
+// context is cancelled) should derive via context.WithoutCancel or
+// carry a //lint:allow directive.
+var CtxPropagate = &Analyzer{
+	Name: "ctxpropagate",
+	Doc: "inside context-receiving functions, forbid context.Background()/TODO() and calls to the " +
+		"non-Context variant of a method/function that has one",
+	Run: runCtxPropagate,
+}
+
+func runCtxPropagate(p *Pass) {
+	if pathMatches(p.Pkg.Path(), "cmd") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			ctxWalk(p, fd.Body, hasContextParam(fd.Type, p.Info))
+			return false
+		})
+	}
+}
+
+// ctxWalk traverses a function body. inScope records whether some
+// enclosing function (this one included) receives a context.Context;
+// nested function literals are walked with the scope extended by their
+// own parameters.
+func ctxWalk(p *Pass, body ast.Node, inScope bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ctxWalk(p, n.Body, inScope || hasContextParam(n.Type, p.Info))
+			return false
+		case *ast.CallExpr:
+			if inScope {
+				checkCtxCall(p, n)
+			}
+		}
+		return true
+	})
+}
+
+func checkCtxCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Unqualified call: a same-package function may still have a
+		// Context sibling (closures and locals resolve to *types.Var and
+		// fall out naturally).
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if fn, ok := p.Info.Uses[id].(*types.Func); ok && fn.Pkg() != nil && !strings.HasSuffix(fn.Name(), "Context") {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+					variant := fn.Name() + "Context"
+					if takesContext(fn.Pkg().Scope().Lookup(variant)) {
+						p.Reportf(call.Pos(), "%s drops the in-scope context; call %s", fn.Name(), variant)
+					}
+				}
+			}
+		}
+		return
+	}
+	if fn := pkgFuncOf(p.Info, sel); fn != nil {
+		if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+			p.Reportf(call.Pos(), "context.%s() inside a context-receiving function detaches from the caller's cancellation; propagate ctx (or derive via context.WithoutCancel)", fn.Name())
+			return
+		}
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || strings.HasSuffix(fn.Name(), "Context") {
+		return
+	}
+	variant := fn.Name() + "Context"
+	if selection, ok := p.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+		// Method call: does the receiver's type also have Name+"Context"?
+		obj, _, _ := types.LookupFieldOrMethod(selection.Recv(), true, p.Pkg, variant)
+		if takesContext(obj) {
+			p.Reportf(call.Pos(), "%s drops the in-scope context; call %s", fn.Name(), variant)
+		}
+		return
+	}
+	// Package-level function: does its package also export Name+"Context"?
+	if fn.Pkg() != nil && fn.Type().(*types.Signature).Recv() == nil {
+		if takesContext(fn.Pkg().Scope().Lookup(variant)) {
+			p.Reportf(call.Pos(), "%s drops the in-scope context; call %s", fn.Name(), variant)
+		}
+	}
+}
+
+// takesContext reports whether obj is a function whose first parameter
+// is a context.Context — i.e. a genuine Context variant.
+func takesContext(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}

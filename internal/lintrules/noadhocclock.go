@@ -1,0 +1,69 @@
+package lintrules
+
+import (
+	"go/ast"
+)
+
+// deterministicPkgs are the path fragments of packages whose behaviour
+// must be a pure function of configuration and seed: stage bodies and
+// everything the figures flow through. Inside them, wall-clock reads and
+// sleeps must go through the engine clock seam (engine.Env.Now /
+// engine.SystemNow / engine.SleepContext) so a fake clock governs the
+// whole run in tests.
+var deterministicPkgs = []string{
+	"internal/core",
+	"internal/engine",
+	"internal/pipeline",
+	"internal/analyzer",
+	"internal/synth",
+	"internal/cluster",
+}
+
+// adhocClockFuncs are the package time functions that read or wait on
+// the process wall clock. time.Since is the sugared form of
+// time.Now().Sub; the timer constructors are the sleep primitives the
+// engine's SleepContext wraps.
+var adhocClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+// NoAdhocClock forbids ad-hoc wall-clock access in deterministic
+// packages. Motivated by PR 3's injectable engine clock (stage wall
+// times) and PR 6's pacer: a bare time.Now in a paced or measured path
+// silently escapes the fake clock, so engine tests and the virtual-time
+// bandwidth pacer stop covering it.
+var NoAdhocClock = &Analyzer{
+	Name: "noadhocclock",
+	Doc: "forbid bare time.Now/time.Sleep/time.Since (and timer constructors) in deterministic packages; " +
+		"use the injected engine clock (engine.Env.Now, engine.SystemNow, engine.SleepContext) instead",
+	Run: runNoAdhocClock,
+}
+
+func runNoAdhocClock(p *Pass) {
+	if !pathInAny(p.Pkg.Path(), deterministicPkgs...) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := pkgFuncOf(p.Info, sel)
+			if fn == nil || fn.Pkg().Path() != "time" || !adhocClockFuncs[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "ad-hoc clock: time.%s in deterministic package %s; use the injected engine clock (engine.Env.Now / engine.SystemNow / engine.SleepContext)",
+				fn.Name(), p.Pkg.Path())
+			return true
+		})
+	}
+}

@@ -1,0 +1,39 @@
+// Positive fixture: inside context-receiving functions, fresh roots
+// and non-Context variants of Context-sibling methods must diagnose.
+package fixture
+
+import "context"
+
+type store struct{}
+
+func (s *store) Stat(name string) (int64, error) { return 0, nil }
+
+func (s *store) StatContext(ctx context.Context, name string) (int64, error) {
+	return 0, nil
+}
+
+func walk(root string) error { return nil }
+
+func walkContext(ctx context.Context, root string) error { return nil }
+
+func lookup(ctx context.Context, s *store, name string) (int64, error) {
+	return s.Stat(name) // want "Stat drops the in-scope context; call StatContext"
+}
+
+func freshRoot(ctx context.Context) context.Context {
+	return context.Background() // want "context.Background() inside a context-receiving function"
+}
+
+func placeholder(ctx context.Context) context.Context {
+	return context.TODO() // want "context.TODO() inside a context-receiving function"
+}
+
+func nested(ctx context.Context, s *store) func() {
+	return func() {
+		s.Stat("x") // want "Stat drops the in-scope context; call StatContext"
+	}
+}
+
+func sweep(ctx context.Context) error {
+	return walk("/") // want "walk drops the in-scope context; call walkContext"
+}

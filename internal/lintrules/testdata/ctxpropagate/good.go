@@ -1,0 +1,40 @@
+// Negative fixture: compat shims without a context parameter are out
+// of scope, Context variants themselves are legal, and a deliberate
+// detach via context.WithoutCancel passes.
+package fixture
+
+import "context"
+
+type client struct{}
+
+func (c *client) Tags(ctx context.Context, repo string) ([]string, error) {
+	return nil, nil
+}
+
+// shim has no context parameter, so the rule never looks inside it: a
+// fresh root here is the documented compat-shim pattern.
+func shim(c *client, repo string) ([]string, error) {
+	return c.Tags(context.Background(), repo)
+}
+
+type index struct{}
+
+func (i *index) Stat(name string) (int64, error) { return 0, nil }
+
+func (i *index) StatContext(ctx context.Context, name string) (int64, error) {
+	return 0, nil
+}
+
+func proper(ctx context.Context, i *index, name string) (int64, error) {
+	return i.StatContext(ctx, name)
+}
+
+// noCtx has no context anywhere in scope, so even the non-Context
+// variant is legal here.
+func noCtx(i *index, name string) (int64, error) {
+	return i.Stat(name)
+}
+
+func detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}

@@ -1,0 +1,8 @@
+// Suppression fixture: a deliberate detach carries a directive.
+package fixture
+
+import "context"
+
+func detachForDrain(ctx context.Context) context.Context {
+	return context.Background() //lint:allow ctxpropagate fixture exercising the suppression path
+}

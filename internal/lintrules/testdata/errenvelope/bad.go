@@ -1,0 +1,21 @@
+// Positive fixture: checked under an envelope package path
+// (repro/internal/registry), plain-text error writes must diagnose.
+package fixture
+
+import "net/http"
+
+func handleErr(w http.ResponseWriter, req *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want "http.Error writes a text/plain error"
+}
+
+func handleMissing(w http.ResponseWriter, req *http.Request) {
+	http.NotFound(w, req) // want "http.NotFound writes a text/plain error"
+}
+
+func handleBare(w http.ResponseWriter, req *http.Request) {
+	w.WriteHeader(http.StatusNotFound) // want "WriteHeader(404) bypasses the v2 error envelope"
+}
+
+func handleTooMany(w http.ResponseWriter, req *http.Request) {
+	w.WriteHeader(429) // want "WriteHeader(429) bypasses the v2 error envelope"
+}

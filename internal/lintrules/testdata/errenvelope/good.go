@@ -1,0 +1,20 @@
+// Negative fixture: success statuses, non-constant statuses (the
+// envelope writer itself), and proxied passthrough stay legal.
+package fixture
+
+import "net/http"
+
+func handleOK(w http.ResponseWriter, req *http.Request) {
+	w.WriteHeader(http.StatusCreated)
+}
+
+// writeEnvelope models registry.WriteError: the status is a variable,
+// so the rule cannot (and must not) flag the envelope writer itself.
+func writeEnvelope(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+}
+
+func handleViaEnvelope(w http.ResponseWriter, req *http.Request) {
+	writeEnvelope(w, http.StatusNotFound, "UNSUPPORTED", "unrecognized path")
+}

@@ -1,0 +1,9 @@
+// Suppression fixture: a deliberate plain-text write carries a
+// directive.
+package fixture
+
+import "net/http"
+
+func handleLegacy(w http.ResponseWriter, req *http.Request) {
+	http.Error(w, "legacy probe endpoint", http.StatusGone) //lint:allow errenvelope fixture exercising the suppression path
+}

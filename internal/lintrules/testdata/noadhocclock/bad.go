@@ -1,0 +1,25 @@
+// Positive fixture: checked under a deterministic package path
+// (repro/internal/core), every ad-hoc clock access must diagnose.
+package fixture
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "ad-hoc clock: time.Now"
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "ad-hoc clock: time.Sleep"
+}
+
+func wall(start time.Time) time.Duration {
+	return time.Since(start) // want "ad-hoc clock: time.Since"
+}
+
+func tick() <-chan time.Time {
+	return time.After(time.Second) // want "ad-hoc clock: time.After"
+}
+
+func clockRef() func() time.Time {
+	return time.Now // want "ad-hoc clock: time.Now"
+}

@@ -1,0 +1,19 @@
+// Negative fixture: an injected clock satisfies the deterministic
+// packages' invariant, and time's types/constants are never flagged.
+package fixture
+
+import "time"
+
+type env struct {
+	now func() time.Time
+}
+
+func (e env) stamp() time.Time { return e.now() }
+
+func (e env) wall(start time.Time) time.Duration {
+	return e.now().Sub(start)
+}
+
+const window = 5 * time.Second
+
+func deadline(now time.Time) time.Time { return now.Add(window) }

@@ -1,0 +1,25 @@
+// Positive fixture: every route to the untuned default transport must
+// diagnose outside internal/httpx.
+package fixture
+
+import "net/http"
+
+func fetch(url string) (*http.Response, error) {
+	return http.Get(url) // want "http.Get routes through http.DefaultClient"
+}
+
+func probe(url string) (*http.Response, error) {
+	return http.Head(url) // want "http.Head routes through http.DefaultClient"
+}
+
+func direct(req *http.Request) (*http.Response, error) {
+	return http.DefaultClient.Do(req) // want "http.DefaultClient has a 2-idle-conns-per-host transport"
+}
+
+func transport() http.RoundTripper {
+	return http.DefaultTransport // want "http.DefaultTransport has a 2-idle-conns-per-host transport"
+}
+
+func client() *http.Client {
+	return &http.Client{} // want "zero-value http.Client uses the default transport"
+}

@@ -1,0 +1,23 @@
+// Negative fixture: clients constructed with an explicit transport or
+// timeout never touch http.DefaultClient, and server-side use of
+// net/http stays legal.
+package fixture
+
+import (
+	"net/http"
+	"time"
+)
+
+func tuned(rt http.RoundTripper) *http.Client {
+	return &http.Client{Transport: rt}
+}
+
+func bounded() *http.Client {
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+}

@@ -1,0 +1,9 @@
+// Suppression fixture: a deliberate default-client call carries a
+// directive.
+package fixture
+
+import "net/http"
+
+func quickProbe(url string) (*http.Response, error) {
+	return http.Get(url) //lint:allow nodefaultclient fixture exercising the suppression path
+}

@@ -1,0 +1,21 @@
+// Positive fixture: top-level math/rand functions draw from the
+// process-global source and must diagnose everywhere.
+package fixture
+
+import "math/rand"
+
+func roll() int {
+	return rand.Intn(6) // want "global RNG: rand.Intn"
+}
+
+func noise() float64 {
+	return rand.Float64() // want "global RNG: rand.Float64"
+}
+
+func order(n int) []int {
+	return rand.Perm(n) // want "global RNG: rand.Perm"
+}
+
+func ref() func() float64 {
+	return rand.Float64 // want "global RNG: rand.Float64"
+}

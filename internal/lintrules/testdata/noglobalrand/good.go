@@ -1,0 +1,21 @@
+// Negative fixture: seeded *rand.Rand streams (the engine seed-offset
+// pattern) are the sanctioned randomness, and a local variable named
+// rand must not be mistaken for the package.
+package fixture
+
+import "math/rand"
+
+func roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func shadowed(seed int64) float64 {
+	rand := rand.New(rand.NewSource(seed))
+	return rand.Float64()
+}
+
+func zipf(seed int64) *rand.Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(rng, 1.1, 1, 1<<20)
+}

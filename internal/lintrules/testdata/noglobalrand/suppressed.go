@@ -1,0 +1,8 @@
+// Suppression fixture: a deliberate global draw carries a directive.
+package fixture
+
+import "math/rand"
+
+func entropy() int64 {
+	return rand.Int63() //lint:allow noglobalrand fixture exercising the suppression path
+}

@@ -88,14 +88,14 @@ func (m *Mirror) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	}
 	i := strings.LastIndex(path, "/")
 	if i < 0 {
-		http.NotFound(w, req)
+		registry.WriteError(w, http.StatusNotFound, "UNSUPPORTED", "unrecognized registry path")
 		return
 	}
 	ref := path[i+1:]
 	rest := path[:i]
 	j := strings.LastIndex(rest, "/")
 	if j < 0 {
-		http.NotFound(w, req)
+		registry.WriteError(w, http.StatusNotFound, "UNSUPPORTED", "unrecognized registry path")
 		return
 	}
 	name, kind := rest[:j], rest[j+1:]
@@ -106,7 +106,7 @@ func (m *Mirror) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	case "blobs":
 		m.serveBlob(w, req, name, ref)
 	default:
-		http.NotFound(w, req)
+		registry.WriteError(w, http.StatusNotFound, "UNSUPPORTED", "unrecognized registry path")
 	}
 }
 

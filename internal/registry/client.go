@@ -96,7 +96,8 @@ func statusErr(resp *http.Response, what string) error {
 type Client struct {
 	// Base is the registry root, e.g. "http://127.0.0.1:5000".
 	Base string
-	// HTTP is the underlying client; http.DefaultClient if nil.
+	// HTTP is the underlying client; httpx.DefaultClient (the shared
+	// tuned transport) if nil.
 	HTTP *http.Client
 	// Token, when set, is sent as a bearer token.
 	Token string

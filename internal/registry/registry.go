@@ -215,14 +215,14 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	default:
 		i := strings.LastIndex(path, "/")
 		if i < 0 {
-			http.NotFound(w, req)
+			WriteError(w, http.StatusNotFound, "UNSUPPORTED", "unrecognized registry path")
 			return
 		}
 		ref = path[i+1:]
 		rest := path[:i]
 		j := strings.LastIndex(rest, "/")
 		if j < 0 {
-			http.NotFound(w, req)
+			WriteError(w, http.StatusNotFound, "UNSUPPORTED", "unrecognized registry path")
 			return
 		}
 		name, kind = rest[:j], rest[j+1:]
@@ -250,7 +250,7 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	case "blobs":
 		r.serveBlob(w, req, ref)
 	default:
-		http.NotFound(w, req)
+		WriteError(w, http.StatusNotFound, "UNSUPPORTED", "unrecognized registry path")
 	}
 }
 

@@ -204,11 +204,31 @@ func (g *Group) ShutdownOnDone(ctx context.Context) <-chan error {
 	errc := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		// ctx is already cancelled; drain under a fresh context so the
-		// DrainTimeout still applies.
-		errc <- g.Shutdown(context.Background())
+		// ctx is already cancelled, so the drain cannot run under it —
+		// every member would hard-close immediately instead of draining.
+		// Derive the drain context from ctx WITHOUT its cancellation
+		// (values survive, the trigger doesn't) and bound it by the
+		// group's largest drain window plus hard-close headroom, so
+		// shutdown is a real drain yet can never wait unbounded.
+		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), g.drainBound()+time.Second)
+		defer cancel()
+		errc <- g.Shutdown(dctx)
 	}()
 	return errc
+}
+
+// drainBound returns the longest effective DrainTimeout among the
+// group's members — the window a full graceful group drain may need.
+func (g *Group) drainBound() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	bound := DefaultDrainTimeout
+	for _, s := range g.servers {
+		if s.DrainTimeout > bound {
+			bound = s.DrainTimeout
+		}
+	}
+	return bound
 }
 
 // Recovered wraps a handler with panic recovery: a panicking request is
