@@ -450,9 +450,9 @@ func BenchmarkExtension_DedupStoreIngest(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := dedupstore.New(blobstore.NewMemory())
+		s := dedupstore.New(dedupstore.NewMemoryPool(0))
 		for _, blob := range blobs {
-			if _, err := s.PutLayer(blob); err != nil {
+			if _, err := s.Put(blob); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -18,7 +18,6 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/blobstore"
 	"repro/internal/dedupstore"
 	"repro/internal/popularity"
 	"repro/internal/pullsim"
@@ -203,7 +202,7 @@ func runVersionAnalysis(res *repro.Result) {
 // deduplicating storage backend (§VI) and reports the realized savings
 // against a conventional per-layer blob store.
 func runDedupStore(res *repro.Result) {
-	store := dedupstore.New(blobstore.NewMemory())
+	store := dedupstore.New(dedupstore.NewMemoryPool(0))
 	var plainBytes int64
 	for i := range res.Dataset.Layers {
 		blob, err := synth.RenderLayer(res.Dataset, synth.LayerID(i))
@@ -212,7 +211,7 @@ func runDedupStore(res *repro.Result) {
 			return
 		}
 		plainBytes += int64(len(blob))
-		if _, err := store.PutLayer(blob); err != nil {
+		if _, err := store.Put(blob); err != nil {
 			fmt.Fprintln(os.Stderr, "storage:", err)
 			return
 		}

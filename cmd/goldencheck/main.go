@@ -7,14 +7,17 @@
 // Usage:
 //
 //	goldencheck [-scale 0.0001] [-model-scale 0.0002] [-seed 0] [-workers 1,4,8]
-//	            [-mirror] [-cluster]
+//	            [-mirror] [-cluster] [-dedup]
 //
 // -mirror adds two wire configurations that pull through the caching
 // mirror (cold cache and pre-warmed cache); -cluster adds two that pull
 // through the sharded registry cluster's router (one node, and four nodes
-// at two replicas). Every wire-path variant at the same scale must render
-// the exact bytes of the direct wire run — goldencheck verifies this
-// itself and exits non-zero on any divergence.
+// at two replicas); -dedup adds two whose registry stores onto the
+// file-deduplicating backend (two-phase and fused), proving every pull
+// reconstructs the exact wire bytes from the content pool. Every
+// wire-path variant at the same scale must render the exact bytes of the
+// direct wire run — goldencheck verifies this itself and exits non-zero
+// on any divergence.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 	withMirror := flag.Bool("mirror", false, "also fingerprint wire runs pulled through the caching mirror (cold + warm)")
 	mirrorBytes := flag.Int64("mirror-bytes", 8<<20, "mirror cache byte budget for -mirror runs")
 	withCluster := flag.Bool("cluster", false, "also fingerprint wire runs pulled through the sharded cluster router (1 node and 4 nodes/2 replicas)")
+	withDedup := flag.Bool("dedup", false, "also fingerprint wire runs served from the file-deduplicating storage backend (two-phase + fused)")
 	flag.Parse()
 
 	var workers []int
@@ -57,6 +61,7 @@ func main() {
 		mirrorWarm  bool
 		nodes       int
 		replicas    int
+		dedup       bool
 	}
 	modes := []mode{
 		{name: "model", scale: *modelScale},
@@ -73,6 +78,12 @@ func main() {
 		modes = append(modes,
 			mode{name: "cluster-n1", wire: true, scale: *scale, nodes: 1, replicas: 1},
 			mode{name: "cluster-n4", wire: true, scale: *scale, nodes: 4, replicas: 2},
+		)
+	}
+	if *withDedup {
+		modes = append(modes,
+			mode{name: "dedup", wire: true, scale: *scale, dedup: true},
+			mode{name: "dedup-fused", wire: true, fused: true, scale: *scale, dedup: true},
 		)
 	}
 
@@ -92,6 +103,7 @@ func main() {
 				MirrorWarm:       mode.mirrorWarm,
 				ClusterNodes:     mode.nodes,
 				ClusterReplicas:  mode.replicas,
+				DedupStorage:     mode.dedup,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "goldencheck: %s w=%d: %v\n", mode.name, w, err)
@@ -112,6 +124,9 @@ func main() {
 					blobGets += ns.Registry.BlobGets
 				}
 				extra += fmt.Sprintf(" nodes=%d node-blob-gets=%d", len(res.ClusterStats), blobGets)
+			}
+			if res.DedupStats != nil {
+				extra += fmt.Sprintf(" dedup-savings=%.2fx", res.DedupStats.SavingsRatio())
 			}
 			if mode.wire {
 				if ref, ok := wireRef[w]; !ok {

@@ -10,7 +10,12 @@
 // Usage:
 //
 //	hubregistry -data ./hub [-addr :5000] [-search-addr :5001]
-//	            [-max-inflight 0] [-drain 10s]
+//	            [-storage plain|dedup] [-max-inflight 0] [-drain 10s]
+//
+// -storage dedup serves from the file-deduplicating backend
+// (internal/dedupstore): startup re-ingests the materialized blobs into a
+// content-addressed file pool under <data>/dedup-pool and prints the
+// realized savings; every pull reconstructs the exact wire bytes.
 package main
 
 import (
@@ -23,8 +28,11 @@ import (
 	"syscall"
 	"time"
 
+	"io"
+
 	"repro/internal/blobstore"
 	"repro/internal/core"
+	"repro/internal/dedupstore"
 	"repro/internal/hubapi"
 	"repro/internal/registry"
 	"repro/internal/serve"
@@ -34,6 +42,7 @@ func main() {
 	data := flag.String("data", "", "hub directory created by hubgen (required)")
 	addr := flag.String("addr", ":5000", "registry listen address")
 	searchAddr := flag.String("search-addr", ":5001", "search API listen address")
+	storage := flag.String("storage", "plain", "blob storage backend: plain (disk) or dedup (file-deduplicating pool)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests per service (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
@@ -46,9 +55,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	store, err := blobstore.NewDisk(filepath.Join(*data, "blobs"))
+	disk, err := blobstore.NewDisk(filepath.Join(*data, "blobs"))
 	if err != nil {
 		fatal(err)
+	}
+	var store blobstore.Store = disk
+	switch *storage {
+	case "plain":
+	case "dedup":
+		pool, err := dedupstore.NewDiskPool(filepath.Join(*data, "dedup-pool"), 0)
+		if err != nil {
+			fatal(err)
+		}
+		dedup := dedupstore.NewWithConfig(pool, dedupstore.Config{CacheBytes: 64 << 20})
+		if err := reingest(dedup, disk); err != nil {
+			fatal(err)
+		}
+		st := dedup.Stats()
+		fmt.Printf("hubregistry: dedup backend holds %d blobs in %.1f MiB physical (%.2fx over %.1f MiB logical)\n",
+			dedup.Len(), float64(st.PhysicalBytes())/(1<<20), st.SavingsRatio(),
+			float64(st.LogicalBytes)/(1<<20))
+		store = dedup
+	default:
+		fmt.Fprintf(os.Stderr, "hubregistry: unknown -storage %q (want plain or dedup)\n", *storage)
+		os.Exit(2)
 	}
 	reg := registry.New(store)
 	if err := st.Install(reg); err != nil {
@@ -82,6 +112,27 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println("hubregistry: drained and stopped")
+}
+
+// reingest decomposes every materialized blob into the dedup backend, one
+// blob at a time (PutVerified needs the bytes in hand so blobs that do not
+// reassemble bit-identically can fall back to verbatim storage).
+func reingest(dst *dedupstore.Store, src blobstore.Store) error {
+	for _, d := range src.Digests() {
+		rc, _, err := src.Get(d)
+		if err != nil {
+			return err
+		}
+		b, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return err
+		}
+		if err := dst.PutVerified(d, b); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

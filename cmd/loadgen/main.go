@@ -26,6 +26,16 @@
 // exercises horizontal scaling even on one host. -json additionally
 // writes the sweep results machine-readably.
 //
+// With -dedup the command is likewise self-contained: it generates a
+// synthetic Hub sized for storage benchmarks (synth.DedupSweepSpec),
+// pushes every layer blob through the streaming put path of both a plain
+// in-memory blob store and the file-deduplicating backend
+// (internal/dedupstore), then serves each behind a registry and replays
+// the same popularity trace against both. The report compares push and
+// pull throughput and the dedup backend's physical footprint against the
+// plain store's — the §VI storage-backend experiment. -json writes the
+// comparison machine-readably (BENCH_dedup.json).
+//
 // The generator crawls the search API for the repository population and
 // pull counts, synthesizes a pull trace proportional to those counts, and
 // replays it closed-loop: each simulated client pulls the manifest and all
@@ -33,6 +43,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -46,6 +57,8 @@ import (
 
 	"repro/internal/blobstore"
 	"repro/internal/cluster"
+	"repro/internal/dedupstore"
+	"repro/internal/digest"
 	"repro/internal/httpx"
 	"repro/internal/hubapi"
 	"repro/internal/popularity"
@@ -68,11 +81,17 @@ func main() {
 	scale := flag.Float64("scale", 0.0003, "dataset scale for the -cluster self-served population")
 	replicas := flag.Int("replicas", 2, "replication factor for -cluster (capped at each node count)")
 	nodeBW := flag.Int64("node-bw", 512<<10, "per-node egress pacing in bytes/s for -cluster (0 = unpaced); keep it well under one core's serving rate so the sweep is bandwidth-bound")
-	jsonPath := flag.String("json", "", "write -cluster sweep results to this file as JSON")
+	dedup := flag.Bool("dedup", false, "run the self-served storage-backend comparison (plain vs dedup) instead of hitting -registry")
+	dedupScale := flag.Float64("dedup-scale", 0.001, "dataset scale for the -dedup comparison (synth.DedupSweepSpec)")
+	jsonPath := flag.String("json", "", "write -cluster/-dedup sweep results to this file as JSON")
 	flag.Parse()
 
 	if *clusterList != "" {
 		runClusterSweep(*clusterList, *scale, *replicas, *nodeBW, *pulls, *workers, *seed, *jsonPath)
+		return
+	}
+	if *dedup {
+		runDedupSweep(*dedupScale, *pulls, *workers, *seed, *jsonPath)
 		return
 	}
 
@@ -313,6 +332,189 @@ func runClusterSweep(nodesList string, scale float64, replicas int, nodeBW int64
 		if run.LatencyMS.P50 > 0 {
 			fmt.Printf("  latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
 				run.LatencyMS.P50, run.LatencyMS.P90, run.LatencyMS.P99, run.LatencyMS.Max)
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// dedupRun is one storage backend's measurements.
+type dedupRun struct {
+	Backend       string  `json:"backend"`
+	PushBytesPerS float64 `json:"push_bytes_per_s"`
+	Pulls         int     `json:"pulls"`
+	Failed        int     `json:"failed"`
+	PullsPerS     float64 `json:"pulls_per_s"`
+	BytesPerS     float64 `json:"bytes_per_s"`
+	// PullVsPlain is this backend's pull throughput relative to the plain
+	// store's (1.0 for the plain run itself).
+	PullVsPlain float64 `json:"pull_vs_plain"`
+	LatencyMS   struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+	} `json:"latency_ms"`
+	// Storage accounting; for the plain backend PhysicalBytes is simply
+	// the stored wire bytes.
+	LogicalBytes  int64   `json:"logical_bytes"`
+	WireBytes     int64   `json:"wire_bytes"`
+	PhysicalBytes int64   `json:"physical_bytes"`
+	SavingsRatio  float64 `json:"savings_ratio"`
+	CacheHitRatio float64 `json:"reconstruct_cache_hit_ratio,omitempty"`
+}
+
+// dedupReport is the BENCH_dedup.json document.
+type dedupReport struct {
+	Scale   float64    `json:"scale"`
+	Seed    int64      `json:"seed"`
+	Workers int        `json:"workers"`
+	Layers  int        `json:"layers"`
+	Runs    []dedupRun `json:"runs"`
+}
+
+// runDedupSweep pushes one rendered layer population through both storage
+// backends and replays one identical pull trace against each.
+func runDedupSweep(scale float64, pulls, workers int, seed int64, jsonPath string) {
+	ds, err := synth.Generate(synth.DedupSweepSpec(scale))
+	if err != nil {
+		fatal(err)
+	}
+	// Render every layer's wire blob once; both backends ingest the same
+	// bytes through the same streaming interface.
+	type wireBlob struct {
+		d    digest.Digest
+		data []byte
+	}
+	blobs := make([]wireBlob, len(ds.Layers))
+	var logical int64
+	for i := range ds.Layers {
+		data, err := synth.RenderLayer(ds, synth.LayerID(i))
+		if err != nil {
+			fatal(err)
+		}
+		blobs[i] = wireBlob{d: digest.FromBytes(data), data: data}
+		logical += ds.Layers[i].FLS
+	}
+
+	backends := []struct {
+		name  string
+		store blobstore.Store
+		dedup *dedupstore.Store
+	}{
+		{name: "plain", store: blobstore.NewMemory()},
+	}
+	dd := dedupstore.NewWithConfig(dedupstore.NewMemoryPool(0),
+		dedupstore.Config{CacheBytes: 64 << 20})
+	backends = append(backends, struct {
+		name  string
+		store blobstore.Store
+		dedup *dedupstore.Store
+	}{name: "dedup", store: dd, dedup: dd})
+
+	out := dedupReport{Scale: scale, Seed: seed, Workers: workers, Layers: len(ds.Layers)}
+	for _, be := range backends {
+		// Push phase: every layer through the streaming put path, timed.
+		start := time.Now()
+		var pushed int64
+		for i := range blobs {
+			n, err := be.store.PutStream(blobs[i].d, bytes.NewReader(blobs[i].data))
+			if err != nil {
+				fatal(fmt.Errorf("%s: pushing layer %d: %w", be.name, i, err))
+			}
+			pushed += n
+		}
+		pushWall := time.Since(start)
+
+		// Manifests, configs and tags ride in through Materialize (layer
+		// blobs are already present and only drain-verify).
+		reg := registry.New(be.store)
+		if _, err := synth.Materialize(ds, reg); err != nil {
+			fatal(err)
+		}
+		repos := synth.Repositories(ds)
+		var names []string
+		var weights []int64
+		for i := range repos {
+			if repos[i].Private {
+				continue
+			}
+			if _, err := reg.ResolveTag(repos[i].Name, "latest"); err != nil {
+				continue
+			}
+			w := repos[i].PullCount
+			if w < 1 {
+				w = 1
+			}
+			names = append(names, repos[i].Name)
+			weights = append(weights, w)
+		}
+		if len(names) == 0 {
+			fatal(fmt.Errorf("no pullable repositories at scale %g", scale))
+		}
+		trace, err := popularity.Trace(weights, pulls, seed)
+		if err != nil {
+			fatal(err)
+		}
+
+		var g serve.Group
+		srv := &serve.Server{Name: be.name, Handler: reg}
+		if err := g.Start(srv); err != nil {
+			fatal(err)
+		}
+		client := &registry.Client{Base: srv.URL(), HTTP: srv.Client()}
+		r := replay(client, names, trace, workers)
+		if err := g.Shutdown(context.Background()); err != nil {
+			fatal(err)
+		}
+
+		run := dedupRun{
+			Backend:       be.name,
+			PushBytesPerS: float64(pushed) / pushWall.Seconds(),
+			Pulls:         r.lat.N(),
+			Failed:        r.failed,
+			PullsPerS:     float64(r.lat.N()) / r.wall.Seconds(),
+			BytesPerS:     float64(r.bytes) / r.wall.Seconds(),
+			LogicalBytes:  logical,
+			WireBytes:     pushed,
+			PhysicalBytes: be.store.TotalBytes(),
+		}
+		if r.lat.N() > 0 {
+			run.LatencyMS.P50 = r.lat.Median()
+			run.LatencyMS.P90 = r.lat.P(90)
+			run.LatencyMS.P99 = r.lat.P(99)
+		}
+		run.SavingsRatio = float64(logical) / float64(run.PhysicalBytes)
+		if be.dedup != nil {
+			st := be.dedup.Stats()
+			run.LogicalBytes = st.LogicalBytes
+			run.WireBytes = st.WireBytes
+			run.PhysicalBytes = st.PhysicalBytes()
+			run.SavingsRatio = st.SavingsRatio()
+			if cs := be.dedup.CacheStats(); cs != nil {
+				run.CacheHitRatio = cs.HitRatio()
+			}
+		}
+		run.PullVsPlain = 1
+		if len(out.Runs) > 0 {
+			run.PullVsPlain = run.BytesPerS / out.Runs[0].BytesPerS
+		}
+		out.Runs = append(out.Runs, run)
+		fmt.Printf("%-5s push %s/s; %d pulls (%.0f/s, %s/s, %.2fx plain), %d failed; physical %s (%.2fx dedup over logical %s)\n",
+			be.name, report.FormatBytes(run.PushBytesPerS), run.Pulls, run.PullsPerS,
+			report.FormatBytes(run.BytesPerS), run.PullVsPlain, run.Failed,
+			report.FormatBytes(float64(run.PhysicalBytes)), run.SavingsRatio,
+			report.FormatBytes(float64(run.LogicalBytes)))
+		if run.CacheHitRatio > 0 {
+			fmt.Printf("  reconstruction cache hit ratio %.1f%%\n", 100*run.CacheHitRatio)
 		}
 	}
 

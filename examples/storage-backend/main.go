@@ -7,11 +7,13 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"log"
 
-	"repro/internal/blobstore"
 	"repro/internal/dedupstore"
+	"repro/internal/digest"
 	"repro/internal/pullsim"
 	"repro/internal/report"
 	"repro/internal/synth"
@@ -23,8 +25,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Ingest every materialized layer into the file-deduplicating store.
-	store := dedupstore.New(blobstore.NewMemory())
+	// Ingest every materialized layer into the file-deduplicating store,
+	// through the same streaming path the registry serves from.
+	store := dedupstore.New(dedupstore.NewMemoryPool(0))
 	var plainBytes int64 // what a conventional per-layer blob store holds
 	for i := range d.Layers {
 		blob, err := synth.RenderLayer(d, synth.LayerID(i))
@@ -32,7 +35,7 @@ func main() {
 			log.Fatal(err)
 		}
 		plainBytes += int64(len(blob))
-		if _, err := store.PutLayer(blob); err != nil {
+		if _, err := store.PutStream(digest.FromBytes(blob), bytes.NewReader(blob)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -47,17 +50,26 @@ func main() {
 		report.FormatBytes(float64(st.FileBytes)), report.FormatBytes(float64(st.RecipeBytes)))
 	fmt.Printf("realized dedup factor:  %.2fx over logical content\n\n", st.SavingsRatio())
 
-	// Round-trip check: any layer reassembles bit-exactly.
+	// Round-trip check: any layer reassembles bit-exactly on read.
 	blob, err := synth.RenderLayer(d, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	key, err := store.PutLayer(blob)
+	key, err := store.Put(blob)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := store.GetLayer(key); err != nil {
+	rc, _, err := store.Get(key)
+	if err != nil {
 		log.Fatal(err)
+	}
+	back, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if digest.FromBytes(back) != key {
+		log.Fatal("reassembled layer does not match its content digest")
 	}
 	fmt.Println("layer reassembly verified against its content digest")
 

@@ -108,11 +108,13 @@ type onlyWriter struct{ w io.Writer }
 
 func (o onlyWriter) Write(p []byte) (int, error) { return o.w.Write(p) }
 
-// drainVerify consumes r to EOF through a hasher and checks the digest —
+// DrainVerify consumes r to EOF through a hasher and checks the digest —
 // the ingest path for blobs that are already stored, where content
 // addressing makes a second copy pointless but the caller's stream (often a
-// live HTTP body) still has to be consumed and integrity-checked.
-func drainVerify(want digest.Digest, r io.Reader) (int64, error) {
+// live HTTP body) still has to be consumed and integrity-checked. Exported
+// for alternative Store implementations (the dedup backend's singleflight
+// losers hand their streams here).
+func DrainVerify(want digest.Digest, r io.Reader) (int64, error) {
 	h := digest.NewHasher()
 	bp := copyBufPool.Get().(*[]byte)
 	n, err := io.CopyBuffer(h, r, *bp)
@@ -131,7 +133,7 @@ func drainVerify(want digest.Digest, r io.Reader) (int64, error) {
 // only the final stored copy is allocated at exact size.
 func (m *Memory) PutStream(want digest.Digest, r io.Reader) (int64, error) {
 	if m.Has(want) {
-		return drainVerify(want, r)
+		return DrainVerify(want, r)
 	}
 	buf := memBufPool.Get().(*bytes.Buffer)
 	defer func() {
@@ -334,7 +336,7 @@ func (d *Disk) PutVerified(want digest.Digest, content []byte) error {
 // digest are safe: each writes its own temp file and the rename is atomic.
 func (d *Disk) PutStream(want digest.Digest, r io.Reader) (int64, error) {
 	if d.Has(want) {
-		return drainVerify(want, r)
+		return DrainVerify(want, r)
 	}
 	p := d.path(want)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {

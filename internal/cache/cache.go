@@ -342,6 +342,28 @@ func (c *Cache) dropEntry(sh *shard, d digest.Digest) {
 	}
 }
 
+// Invalidate removes d from the cache: its index entry, its stored bytes,
+// and any negative marker. A fill already in flight is not interrupted —
+// it may re-admit the blob after it completes; callers that delete d from
+// the backing store before invalidating only leak cache budget until
+// eviction (the re-admitted entry is unreachable through them), never a
+// stale read.
+func (c *Cache) Invalidate(d digest.Digest) {
+	sh := c.shard(d)
+	sh.mu.Lock()
+	if el, ok := sh.entries[d]; ok {
+		e := el.Value.(*entry)
+		sh.order.Remove(el)
+		delete(sh.entries, d)
+		sh.used -= e.size
+		c.used.Add(-e.size)
+		c.entries.Add(-1)
+	}
+	sh.clearNegative(d)
+	sh.mu.Unlock()
+	c.store.Delete(d)
+}
+
 // Admit inserts already-verified-by-caller content directly (the manifest
 // path uses it, where the bytes were digest-checked by the registry
 // client). Content bigger than a stripe's budget is counted rejected and

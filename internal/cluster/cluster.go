@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/blobstore"
 	"repro/internal/cache"
+	"repro/internal/dedupstore"
 	"repro/internal/digest"
 	"repro/internal/engine"
 	"repro/internal/httpx"
@@ -60,13 +61,19 @@ type Config struct {
 	Now func() time.Time
 	// DrainTimeout bounds graceful node shutdown (serve default when 0).
 	DrainTimeout time.Duration
+	// DedupStorage puts each node's registry on its own file-deduplicating
+	// backend instead of a plain blob store: seeded layers decompose into
+	// the node's content pool and reconstruct bit-identically on every
+	// pull. Node bytes served are unchanged — only what the node stores.
+	DedupStorage bool
 }
 
 // node is one registry member: its own store, its own listener.
 type node struct {
-	id  string // base URL once started; the ring member ID
-	reg *registry.Registry
-	srv *serve.Server
+	id    string // base URL once started; the ring member ID
+	reg   *registry.Registry
+	dedup *dedupstore.Store // non-nil with Config.DedupStorage
+	srv   *serve.Server
 }
 
 // Cluster is a horizontally sharded registry: N nodes, an R-replica
@@ -107,7 +114,14 @@ func Launch(g *serve.Group, cfg Config) (*Cluster, error) {
 	nodeHTTP := &http.Client{Transport: httpx.NewTransport()}
 	clients := make(map[string]*registry.Client, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		n := &node{reg: registry.New(blobstore.NewMemory())}
+		n := &node{}
+		if cfg.DedupStorage {
+			n.dedup = dedupstore.NewWithConfig(dedupstore.NewMemoryPool(0),
+				dedupstore.Config{CacheBytes: 32 << 20})
+			n.reg = registry.New(n.dedup)
+		} else {
+			n.reg = registry.New(blobstore.NewMemory())
+		}
 		var h http.Handler = n.reg
 		if cfg.NodeBandwidth > 0 {
 			h = paced(h, newPacer(cfg.NodeBandwidth, cfg.Now))
@@ -172,6 +186,9 @@ func (c *Cluster) NodeRegistry(i int) *registry.Registry { return c.nodes[i].reg
 type NodeStats struct {
 	ID       string         `json:"id"`
 	Registry registry.Stats `json:"registry"`
+	// Dedup is the node's storage accounting when the cluster runs on the
+	// deduplicating backend (nil otherwise).
+	Dedup *dedupstore.Stats `json:"dedup,omitempty"`
 }
 
 // Stats snapshots every node's counters.
@@ -179,6 +196,10 @@ func (c *Cluster) Stats() []NodeStats {
 	out := make([]NodeStats, len(c.nodes))
 	for i, n := range c.nodes {
 		out[i] = NodeStats{ID: n.id, Registry: n.reg.Stats()}
+		if n.dedup != nil {
+			st := n.dedup.Stats()
+			out[i].Dedup = &st
+		}
 	}
 	return out
 }

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/crawler"
 	"repro/internal/dedup"
+	"repro/internal/dedupstore"
 	"repro/internal/downloader"
 	"repro/internal/engine"
 	"repro/internal/registry"
@@ -70,6 +71,12 @@ type Study struct {
 	// ClusterReplicas is the copies kept of each blob/tag in cluster mode
 	// (cluster.DefaultReplicas when 0, capped at ClusterNodes).
 	ClusterReplicas int
+	// DedupStorage materializes the registry onto the file-deduplicating
+	// storage backend (wire mode only): layers decompose into a shared
+	// content pool on push and reconstruct bit-identically on every pull.
+	// In cluster mode each node's registry gets its own dedup backend too.
+	// Figures stay bit-identical to a plain-backend wire run.
+	DedupStorage bool
 }
 
 // Result is everything a study produces.
@@ -95,6 +102,9 @@ type Result struct {
 	// clustered run (nil/empty when no cluster was configured).
 	ClusterStats []cluster.NodeStats
 	RouterStats  *cache.Stats
+	// DedupStats snapshots the deduplicating backend's storage accounting
+	// at the end of a dedup-storage run (nil otherwise).
+	DedupStats *dedupstore.Stats
 }
 
 // Env builds the study's shared run environment.
@@ -127,9 +137,9 @@ func (s *Study) RunWire() (*Result, error) {
 // RunWireContext is RunWire with cancellation: when ctx is done, in-flight
 // transfers abort, the servers drain, and the run returns ctx's error.
 func (s *Study) RunWireContext(ctx context.Context) (*Result, error) {
-	stages := []engine.Stage[*State]{stageGenerate, stageMaterialize, stageServe}
+	stages := []engine.Stage[*State]{stageGenerate, newMaterializeStage(s.DedupStorage), stageServe}
 	if s.ClusterNodes > 0 {
-		stages = append(stages, newClusterStage(s.ClusterNodes, s.ClusterReplicas))
+		stages = append(stages, newClusterStage(s.ClusterNodes, s.ClusterReplicas, s.DedupStorage))
 	}
 	if s.MirrorCacheBytes > 0 {
 		stages = append(stages, newMirrorStage(s.MirrorCacheBytes))
@@ -186,6 +196,10 @@ func (s *Study) run(ctx context.Context, stages []engine.Stage[*State]) (*Result
 		res.ClusterStats = st.Cluster.Stats()
 		stats := st.Cluster.CacheStats()
 		res.RouterStats = &stats
+	}
+	if st.DedupStore != nil {
+		stats := st.DedupStore.Stats()
+		res.DedupStats = &stats
 	}
 	return res, nil
 }

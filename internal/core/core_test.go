@@ -257,7 +257,7 @@ func TestRunCancelledMidRun(t *testing.T) {
 	env := s.Env()
 	st := &State{Env: env, Spec: s.Spec}
 	runner := &engine.Runner[*State]{Env: env, Stages: []engine.Stage[*State]{
-		stageGenerate, stageMaterialize, stageServe, stageCrawl,
+		stageGenerate, newMaterializeStage(false), stageServe, stageCrawl,
 		engine.NewStage("cancel", func(ctx context.Context, st *State) error {
 			cancel()
 			return nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/crawler"
+	"repro/internal/dedupstore"
 	"repro/internal/downloader"
 	"repro/internal/engine"
 	"repro/internal/hubapi"
@@ -52,6 +53,9 @@ type State struct {
 	// Cluster is the sharded registry cluster when the study runs against
 	// one (stage cluster).
 	Cluster *cluster.Cluster
+	// DedupStore is the deduplicating backend under the registry when the
+	// study materializes into one (stage materialize with dedup storage).
+	DedupStore *dedupstore.Store
 
 	// Outputs.
 	Crawl    *crawler.Result
@@ -85,15 +89,27 @@ var stageGenerate = engine.NewStage("generate", func(ctx context.Context, st *St
 	return nil
 })
 
-// stageMaterialize renders the dataset's images into an in-process
-// registry as real gzip-compressed layer tarballs.
-var stageMaterialize = engine.NewStage("materialize", func(ctx context.Context, st *State) error {
-	st.Registry = registry.New(blobstore.NewMemory())
-	if _, err := synth.Materialize(st.Dataset, st.Registry); err != nil {
-		return fmt.Errorf("materializing: %w", err)
-	}
-	return nil
-})
+// newMaterializeStage builds the stage that renders the dataset's images
+// into an in-process registry as real gzip-compressed layer tarballs.
+// With dedup set, the registry sits on the file-deduplicating backend
+// instead of a plain blob store: every layer decomposes into the shared
+// content pool on the way in and reconstructs bit-identically on every
+// pull, so the figures must not move.
+func newMaterializeStage(dedup bool) engine.Stage[*State] {
+	return engine.NewStage("materialize", func(ctx context.Context, st *State) error {
+		var store blobstore.Store = blobstore.NewMemory()
+		if dedup {
+			st.DedupStore = dedupstore.NewWithConfig(dedupstore.NewMemoryPool(0),
+				dedupstore.Config{CacheBytes: 32 << 20})
+			store = st.DedupStore
+		}
+		st.Registry = registry.New(store)
+		if _, err := synth.Materialize(st.Dataset, st.Registry); err != nil {
+			return fmt.Errorf("materializing: %w", err)
+		}
+		return nil
+	})
+}
 
 // stageServe mounts the registry and the Hub search API on the serve
 // chassis. The servers outlive the stage; Study shuts the group down when
@@ -159,13 +175,14 @@ func newMirrorStage(cacheBytes int64) engine.Stage[*State] {
 // router's replica fan-out. The figures must stay bit-identical to a
 // direct wire run — the router re-serves node bytes verbatim and maps
 // errors to the same taxonomy (401 private, 404 missing).
-func newClusterStage(nodes, replicas int) engine.Stage[*State] {
+func newClusterStage(nodes, replicas int, dedup bool) engine.Stage[*State] {
 	return engine.NewStage("cluster", func(ctx context.Context, st *State) error {
 		c, err := cluster.Launch(st.Servers, cluster.Config{
 			Nodes:        nodes,
 			Replicas:     replicas,
 			MaxInFlight:  st.Env.MaxInFlight,
 			DrainTimeout: st.Env.DrainTimeout,
+			DedupStorage: dedup,
 		})
 		if err != nil {
 			return err

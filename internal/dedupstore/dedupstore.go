@@ -1,233 +1,812 @@
 // Package dedupstore implements the registry storage backend the paper's
 // findings motivate (§VI: "we plan to utilize our deduplication
-// observations to improve storage efficiency for Docker registry"): layers
-// are decomposed into their member files, file contents are stored once in
-// a shared content-addressed pool, and each layer keeps only a small
-// recipe (entry metadata plus content digests).
+// observations to improve storage efficiency for Docker registry"): a
+// blobstore.Store whose layer blobs are decomposed into their member
+// files, each file content stored once in a shared content-addressed pool,
+// and each blob kept only as a small recipe (member metadata plus content
+// digests).
 //
 // Because only ~3% of files across Docker Hub are unique (§V-B), the pool
-// holds a fraction of the logical bytes; GetLayer reassembles the layer
-// tarball from its recipe. Reassembly is deterministic, so a layer built
-// by tarutil round-trips to byte-identical uncompressed content.
+// holds a fraction of the logical bytes. The backend is streaming and
+// concurrent end to end:
+//
+//   - PutStream decomposes the layer tar as the bytes cross the wire —
+//     hash-as-you-go through the same tee plumbing as the plain backends,
+//     buffering one file at a time (pooled), never the whole layer.
+//     Concurrent pushes of the same blob coalesce (singleflight), and
+//     duplicate files across concurrent pushes coalesce again inside the
+//     lock-striped pool.
+//   - Get reconstructs the wire blob on read: the tar is reassembled from
+//     pooled file contents (re-gzipped when the original was
+//     gzip-framed) and streamed through an io.Pipe. An optional
+//     reconstruction cache (internal/cache) absorbs the recompression
+//     cost of popularity-skewed pull traffic.
+//   - Delete is reference counted and safe under concurrent pulls: a
+//     reconstructing reader pins its recipe, so a blob deleted mid-read
+//     finishes streaming and its file references are released only when
+//     the last reader closes.
+//
+// Reassembly must be bit-exact — registry clients verify blobs against
+// their digests — so every put proves round-trip fidelity before
+// committing: the decomposed blob is reassembled (and recompressed)
+// through a hasher and compared with the wire digest. Layers built by
+// tarutil (fixed metadata, deterministic gzip) always pass; a foreign blob
+// that does not reproduce is stored verbatim by Put/PutVerified, while
+// PutStream — whose input is already consumed — reports
+// ErrNotReproducible rather than serve bytes that would fail client-side
+// verification.
 package dedupstore
 
 import (
+	"bufio"
 	"bytes"
+	"compress/flate"
 	"compress/gzip"
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"repro/internal/blobstore"
+	"repro/internal/cache"
 	"repro/internal/digest"
 	"repro/internal/tarutil"
 )
 
-// RecipeEntry is one tar member in a layer recipe.
-type RecipeEntry struct {
-	// Name is the member path.
-	Name string `json:"n"`
-	// Dir marks directory entries (no content).
-	Dir bool `json:"d,omitempty"`
-	// Size is the file size in bytes.
-	Size int64 `json:"s,omitempty"`
-	// Content is the digest of the file content (empty for directories).
-	Content digest.Digest `json:"c,omitempty"`
+// ErrUnknownLayer is the sentinel for blobs never stored. Lookups return
+// an *UnknownBlobError carrying the digest; it matches both this sentinel
+// and blobstore.ErrNotFound under errors.Is, so the registry's blob
+// handler maps it to the v2 BLOB_UNKNOWN envelope like any other backend's
+// miss.
+var ErrUnknownLayer = errors.New("dedupstore: unknown blob")
+
+// ErrNotReproducible is returned by PutStream for blobs that decompose but
+// do not reassemble bit-identically (foreign tar metadata the recipe
+// cannot carry, or non-deterministic compression framing). Put and
+// PutVerified fall back to storing such blobs verbatim instead.
+var ErrNotReproducible = errors.New("dedupstore: blob does not reassemble bit-identically")
+
+// UnknownBlobError is the typed not-found error for this backend.
+type UnknownBlobError struct {
+	Digest digest.Digest
 }
 
-// Recipe describes how to reassemble one layer.
-type Recipe struct {
-	// TarDigest is the digest of the uncompressed tar stream the recipe
-	// reproduces, used to verify reassembly.
-	TarDigest digest.Digest `json:"tar"`
-	// Entries are the members in original order.
-	Entries []RecipeEntry `json:"entries"`
+func (e *UnknownBlobError) Error() string {
+	return fmt.Sprintf("dedupstore: unknown blob %s", e.Digest.Short())
+}
+
+// Is matches both the package sentinel and blobstore.ErrNotFound, so
+// callers written against the generic Store interface (the registry's
+// BLOB_UNKNOWN mapping, the downloader's miss handling) classify this
+// backend's misses without knowing about it.
+func (e *UnknownBlobError) Is(target error) bool {
+	return target == ErrUnknownLayer || target == blobstore.ErrNotFound
 }
 
 // Stats reports the storage accounting of a dedup store.
 type Stats struct {
-	// Layers is the number of stored layers.
+	// Layers is the number of decomposed (recipe-backed) blobs.
 	Layers int
-	// LogicalBytes is the sum of uncompressed layer content (what a
-	// plain per-layer store would hold before compression).
+	// RawBlobs is the number of blobs stored verbatim: manifests, configs,
+	// and anything that did not reassemble bit-identically.
+	RawBlobs int
+	// LogicalBytes is the uncompressed content of decomposed layers plus
+	// the verbatim bytes of raw blobs — what a per-layer store would hold
+	// with no compression and no sharing.
 	LogicalBytes int64
-	// FileBytes is the bytes held in the shared file pool (deduplicated).
+	// WireBytes is the sum of blob wire sizes — what a plain blob store
+	// backend would hold for the same population.
+	WireBytes int64
+	// FileBytes is the bytes held in the shared content-addressed pool
+	// (deduplicated file contents plus raw blobs).
 	FileBytes int64
-	// RecipeBytes is the metadata overhead of all recipes.
+	// RecipeBytes is the metadata overhead of all recipes as held at
+	// rest (flate-compressed binary encodings).
 	RecipeBytes int64
-	// UniqueFiles is the pool's file count.
+	// UniqueFiles is the pool's entry count.
 	UniqueFiles int
-	// TotalFiles is the number of file instances across all layers.
+	// TotalFiles is the number of file instances across all decomposed
+	// layers.
 	TotalFiles int64
 }
 
 // PhysicalBytes is the store's total footprint (pool + recipes).
 func (s Stats) PhysicalBytes() int64 { return s.FileBytes + s.RecipeBytes }
 
-// SavingsRatio is logical/physical — the realized dedup factor.
+// SavingsRatio is logical/physical — the realized dedup factor. An empty
+// store has saved nothing yet stores everything it holds, so the ratio is
+// 1.0, not 0: ratio plots start at the identity, not a bogus origin dip.
 func (s Stats) SavingsRatio() float64 {
-	if p := s.PhysicalBytes(); p > 0 {
-		return float64(s.LogicalBytes) / float64(p)
+	p := s.PhysicalBytes()
+	if p <= 0 {
+		return 1.0
 	}
-	return 0
+	return float64(s.LogicalBytes) / float64(p)
 }
 
-// Store is a file-level deduplicating layer store. Safe for concurrent
+// WireSavingsRatio is wire/physical — the realized savings over a plain
+// (compressed per-layer) blob store holding the same population. 1.0 for
+// an empty store.
+func (s Stats) WireSavingsRatio() float64 {
+	p := s.PhysicalBytes()
+	if p <= 0 {
+		return 1.0
+	}
+	return float64(s.WireBytes) / float64(p)
+}
+
+// Config tunes a Store beyond its pool.
+type Config struct {
+	// CacheBytes, when positive, bounds a reconstructed-blob serving
+	// cache: Get answers from it when possible instead of reassembling
+	// (and re-gzipping) the blob, which is what keeps pull throughput near
+	// the plain backend's on popularity-skewed traffic. 0 disables the
+	// cache.
+	CacheBytes int64
+}
+
+// blobEntry is one stored blob: a recipe for decomposed layers, or nil for
+// blobs held verbatim in the pool under their own digest.
+type blobEntry struct {
+	size int64 // wire size
+	// recipeZ is the flate-compressed recipe encoding (nil for raw
+	// blobs). Recipes are held compressed — the 32-byte content digests
+	// are incompressible but names and sizes shrink ~3x — and decoded on
+	// demand: reconstruction already pays a gzip of megabytes, so
+	// inflating a few KB of metadata is noise.
+	recipeZ []byte
+	logical int64 // decomposed content bytes (accounting)
+	files   int64 // file instances (accounting)
+
+	// readers counts in-flight reconstructing reads pinning the recipe's
+	// pool files; condemned marks an entry deleted while pinned, whose
+	// references the last reader releases.
+	readers   int
+	condemned bool
+}
+
+// Store is a file-level deduplicating blobstore.Store. Safe for concurrent
 // use.
 type Store struct {
-	files blobstore.Store
+	pool  *Pool
+	cache *cache.Cache
 
 	mu      sync.RWMutex
-	recipes map[digest.Digest]*Recipe // keyed by uncompressed tar digest
+	blobs   map[digest.Digest]*blobEntry
+	flights map[digest.Digest]*putFlight
 
-	logical    int64
-	recipeSize int64
-	instances  int64
+	layers      int
+	raw         int
+	logical     int64
+	wire        int64
+	recipeBytes int64
+	instances   int64
 }
 
-// New creates a Store using pool as the shared file pool.
-func New(pool blobstore.Store) *Store {
-	return &Store{files: pool, recipes: make(map[digest.Digest]*Recipe)}
+// putFlight is one in-progress blob put. err is set before done closes.
+type putFlight struct {
+	done chan struct{}
+	err  error
 }
 
-// ErrUnknownLayer is returned by GetLayer for layers never stored.
-var ErrUnknownLayer = errors.New("dedupstore: unknown layer")
+// Store must satisfy the backend interface the registry serves from.
+var _ blobstore.Store = (*Store)(nil)
 
-// PutLayer decomposes a layer tarball (gzip-compressed or plain) into the
-// file pool and stores its recipe. It returns the layer key: the digest of
-// the uncompressed tar stream. Storing the same layer twice is a no-op.
-func (s *Store) PutLayer(blob []byte) (digest.Digest, error) {
-	// Normalize to uncompressed tar bytes first: the recipe reproduces
-	// the tar, not the gzip framing (recompression is a policy decision
-	// at serving time — the paper's §IV-A point).
-	tarBytes, err := decompress(blob)
+// New creates a Store over the given file pool.
+func New(pool *Pool) *Store {
+	return NewWithConfig(pool, Config{})
+}
+
+// NewWithConfig is New with tuning.
+func NewWithConfig(pool *Pool, cfg Config) *Store {
+	s := &Store{
+		pool:    pool,
+		blobs:   make(map[digest.Digest]*blobEntry),
+		flights: make(map[digest.Digest]*putFlight),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = cache.New(blobstore.NewMemory(), cfg.CacheBytes)
+	}
+	return s
+}
+
+// Pooled scratch state for the streaming put/get paths: the sniffing
+// bufio, the gzip inflater/deflater, the one-file-at-a-time content
+// buffer, and the chunk buffer used to drain trailers. Recycling these is
+// what makes per-blob allocation O(largest file), not O(layer).
+var (
+	bufReaderPool = sync.Pool{
+		New: func() any { return bufio.NewReaderSize(nil, 32<<10) },
+	}
+	gzipReaderPool sync.Pool // *gzip.Reader; empty until first Put
+	gzipWriterPool sync.Pool // *gzip.Writer at the materializer's level
+	fileBufPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	drainBufPool   = sync.Pool{New: func() any {
+		b := make([]byte, 32<<10)
+		return &b
+	}}
+	flateWriterPool sync.Pool // *flate.Writer for at-rest recipe compression
+	flateReaderPool sync.Pool // flate.Resetter readers for recipe inflation
+)
+
+// gzipMagic is the two-byte gzip stream signature (RFC 1952).
+const gzipMagic = "\x1f\x8b"
+
+// Put implements blobstore.Store. Blobs that decompose but do not
+// reassemble bit-identically are stored verbatim (the bytes are in hand,
+// so unlike PutStream no fidelity is lost by falling back).
+func (s *Store) Put(content []byte) (digest.Digest, error) {
+	d := digest.FromBytes(content)
+	_, err := s.put(d, bytes.NewReader(content), content)
+	return d, err
+}
+
+// PutVerified implements blobstore.Store.
+func (s *Store) PutVerified(want digest.Digest, content []byte) error {
+	if digest.FromBytes(content) != want {
+		return fmt.Errorf("%w: want %s", blobstore.ErrDigestMismatch, want)
+	}
+	_, err := s.put(want, bytes.NewReader(content), content)
+	return err
+}
+
+// PutStream implements blobstore.Store: the blob is decomposed into the
+// pool as it is read — one pooled file buffer of look-back, never the
+// whole layer. Concurrent puts of the same digest coalesce: one writer
+// decomposes, the rest drain-and-verify their own streams.
+func (s *Store) PutStream(want digest.Digest, r io.Reader) (int64, error) {
+	return s.put(want, r, nil)
+}
+
+// put is the singleflight shell around ingest. fallback, when non-nil,
+// holds the full blob bytes so a failed decomposition can store the blob
+// verbatim instead.
+func (s *Store) put(want digest.Digest, r io.Reader, fallback []byte) (int64, error) {
+	for {
+		s.mu.Lock()
+		if _, ok := s.blobs[want]; ok {
+			s.mu.Unlock()
+			return blobstore.DrainVerify(want, r)
+		}
+		if f, ok := s.flights[want]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if f.err == nil {
+				return blobstore.DrainVerify(want, r)
+			}
+			// The winner failed; retry as the next winner with our own
+			// (still unconsumed) stream.
+			continue
+		}
+		f := &putFlight{done: make(chan struct{})}
+		s.flights[want] = f
+		s.mu.Unlock()
+
+		n, err := s.ingest(want, r)
+		if err != nil && fallback != nil {
+			n, err = s.ingestRaw(want, bytes.NewReader(fallback))
+		}
+		s.mu.Lock()
+		delete(s.flights, want)
+		s.mu.Unlock()
+		f.err = err
+		close(f.done)
+		return n, err
+	}
+}
+
+// countReader counts the wire bytes of a put as they stream past.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ingest classifies the blob from its first bytes — gzip-framed tar, plain
+// tar, or raw (manifests, configs) — and stores it down the matching path.
+func (s *Store) ingest(want digest.Digest, r io.Reader) (int64, error) {
+	cr := &countReader{r: r}
+	h := digest.NewHasher()
+	br := bufReaderPool.Get().(*bufio.Reader)
+	br.Reset(io.TeeReader(cr, h))
+	defer func() {
+		br.Reset(nil)
+		bufReaderPool.Put(br)
+	}()
+
+	if magic, _ := br.Peek(len(gzipMagic)); string(magic) == gzipMagic {
+		return s.ingestTar(want, cr, h, br, true)
+	}
+	if hdr, _ := br.Peek(512); isTarHeader(hdr) {
+		return s.ingestTar(want, cr, h, br, false)
+	}
+	return s.ingestRaw(want, br)
+}
+
+// ingestRaw streams a blob verbatim into the pool under its own digest.
+func (s *Store) ingestRaw(want digest.Digest, r io.Reader) (int64, error) {
+	n, err := s.pool.addStream(want, r)
 	if err != nil {
-		return "", err
+		return n, err
 	}
-	key := digest.FromBytes(tarBytes)
+	s.mu.Lock()
+	s.blobs[want] = &blobEntry{size: n}
+	s.raw++
+	s.wire += n
+	s.logical += n
+	s.mu.Unlock()
+	return n, nil
+}
 
-	s.mu.RLock()
-	_, exists := s.recipes[key]
-	s.mu.RUnlock()
-	if exists {
-		return key, nil
+// ingestTar decomposes a (possibly gzip-framed) tar blob: every member
+// file is buffered once (pooled), hashed, and pooled; the recipe commits
+// only after the wire digest checks out and a reassembly through a hasher
+// proves the recipe reproduces the exact wire bytes. Any failure releases
+// the references the walk took.
+func (s *Store) ingestTar(want digest.Digest, cr *countReader, h *digest.Hasher, br *bufio.Reader, gz bool) (int64, error) {
+	rec := &Recipe{Gzip: gz}
+	var added []digest.Digest
+	fail := func(err error) (int64, error) {
+		for _, d := range added {
+			s.pool.unref(d)
+		}
+		return cr.n, err
 	}
 
-	recipe := &Recipe{TarDigest: key}
-	var logical int64
-	var instances int64
-	err = tarutil.Walk(bytes.NewReader(tarBytes), func(e tarutil.Entry, content io.Reader) error {
+	var src io.Reader = br
+	var zr *gzip.Reader
+	if gz {
+		var err error
+		zr, _ = gzipReaderPool.Get().(*gzip.Reader)
+		if zr == nil {
+			zr, err = gzip.NewReader(br)
+		} else {
+			err = zr.Reset(br)
+		}
+		if err != nil {
+			if zr != nil {
+				gzipReaderPool.Put(zr)
+			}
+			return fail(fmt.Errorf("dedupstore: opening gzip stream: %w", err))
+		}
+		src = zr
+	}
+
+	var logical, files int64
+	fbuf := fileBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		fbuf.Reset()
+		fileBufPool.Put(fbuf)
+	}()
+	walkErr := tarutil.Walk(src, func(e tarutil.Entry, content io.Reader) error {
 		if e.IsDir {
-			recipe.Entries = append(recipe.Entries, RecipeEntry{Name: e.Name, Dir: true})
+			rec.Entries = append(rec.Entries, RecipeEntry{Name: e.Name, Dir: true})
 			return nil
 		}
-		var data []byte
+		fbuf.Reset()
 		if content != nil {
-			var err error
-			data, err = io.ReadAll(content)
-			if err != nil {
-				return fmt.Errorf("dedupstore: reading %s: %w", e.Name, err)
+			if _, err := fbuf.ReadFrom(content); err != nil {
+				return fmt.Errorf("reading %s: %w", e.Name, err)
 			}
 		}
-		d, err := s.files.Put(data)
-		if err != nil {
-			return fmt.Errorf("dedupstore: pooling %s: %w", e.Name, err)
+		if int64(fbuf.Len()) != e.Size {
+			return fmt.Errorf("short read of %s: %d of %d bytes", e.Name, fbuf.Len(), e.Size)
 		}
-		recipe.Entries = append(recipe.Entries, RecipeEntry{
-			Name: e.Name, Size: int64(len(data)), Content: d,
-		})
-		logical += int64(len(data))
-		instances++
+		fd := digest.FromBytes(fbuf.Bytes())
+		if err := s.pool.add(fd, fbuf.Bytes()); err != nil {
+			return err
+		}
+		added = append(added, fd)
+		rec.Entries = append(rec.Entries, RecipeEntry{Name: e.Name, Size: e.Size, Content: fd})
+		logical += e.Size
+		files++
 		return nil
 	})
-	if err != nil {
-		return "", err
+	// Consume what the walk left behind — gzip trailers, archive padding —
+	// so the wire hash covers the whole stream; then verify it.
+	if gz {
+		if walkErr == nil {
+			walkErr = drainAll(zr)
+		}
+		closeErr := zr.Close()
+		gzipReaderPool.Put(zr)
+		if walkErr == nil && closeErr != nil {
+			walkErr = closeErr
+		}
+	}
+	if walkErr == nil {
+		walkErr = drainAll(br)
+	}
+	if walkErr != nil {
+		return fail(fmt.Errorf("dedupstore: decomposing %s: %w", want.Short(), walkErr))
+	}
+	if got := h.Digest(); got != want {
+		return fail(fmt.Errorf("%w: want %s, got %s", blobstore.ErrDigestMismatch, want.Short(), got.Short()))
 	}
 
-	encoded, err := json.Marshal(recipe)
-	if err != nil {
-		return "", fmt.Errorf("dedupstore: encoding recipe: %w", err)
+	// Round-trip proof: the recipe must reproduce the wire bytes exactly,
+	// or clients verifying their pulls would reject what Get serves.
+	vh := digest.NewHasher()
+	if err := s.writeBlob(rec, vh); err != nil {
+		return fail(fmt.Errorf("dedupstore: verifying reassembly of %s: %w", want.Short(), err))
+	}
+	if got := vh.Digest(); got != want {
+		return fail(fmt.Errorf("%w: %s reassembles to %s", ErrNotReproducible, want.Short(), got.Short()))
 	}
 
+	z := compressRecipe(rec)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.recipes[key]; !exists {
-		s.recipes[key] = recipe
-		s.logical += logical
-		s.recipeSize += int64(len(encoded))
-		s.instances += instances
-	}
-	return key, nil
+	s.blobs[want] = &blobEntry{size: cr.n, recipeZ: z, logical: logical, files: files}
+	s.layers++
+	s.wire += cr.n
+	s.logical += logical
+	s.recipeBytes += int64(len(z))
+	s.instances += files
+	s.mu.Unlock()
+	return cr.n, nil
 }
 
-// decompress returns the uncompressed tar bytes of a blob that may or may
-// not be gzip-framed.
-func decompress(blob []byte) ([]byte, error) {
-	zr, err := gzip.NewReader(bytes.NewReader(blob))
-	if errors.Is(err, gzip.ErrHeader) {
-		return blob, nil // already plain tar
-	}
-	if err != nil {
-		return nil, fmt.Errorf("dedupstore: opening layer blob: %w", err)
-	}
-	defer zr.Close()
-	out, err := io.ReadAll(zr)
-	if err != nil {
-		return nil, fmt.Errorf("dedupstore: decompressing layer: %w", err)
-	}
-	return out, nil
-}
-
-// GetLayer reassembles the uncompressed tar stream of a stored layer and
-// verifies it against the recipe's digest.
-func (s *Store) GetLayer(key digest.Digest) ([]byte, error) {
-	s.mu.RLock()
-	recipe, ok := s.recipes[key]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownLayer, key.Short())
-	}
+// compressRecipe flate-compresses a recipe's binary encoding for at-rest
+// storage.
+func compressRecipe(rec *Recipe) []byte {
 	var buf bytes.Buffer
-	b := tarutil.NewBuilder(&buf)
-	for _, e := range recipe.Entries {
-		if e.Dir {
-			if err := b.Dir(e.Name); err != nil {
-				return nil, err
+	fw, _ := flateWriterPool.Get().(*flate.Writer)
+	if fw == nil {
+		fw, _ = flate.NewWriter(&buf, flate.DefaultCompression)
+	} else {
+		fw.Reset(&buf)
+	}
+	// Writes to a bytes.Buffer cannot fail.
+	fw.Write(EncodeRecipe(rec))
+	fw.Close()
+	flateWriterPool.Put(fw)
+	return buf.Bytes()
+}
+
+// decompressRecipe inflates and decodes an at-rest recipe.
+func decompressRecipe(z []byte) (*Recipe, error) {
+	fr, _ := flateReaderPool.Get().(io.ReadCloser)
+	if fr == nil {
+		fr = flate.NewReader(bytes.NewReader(z))
+	} else if err := fr.(flate.Resetter).Reset(bytes.NewReader(z), nil); err != nil {
+		return nil, err
+	}
+	enc, err := io.ReadAll(fr)
+	if cerr := fr.Close(); err == nil {
+		err = cerr
+	}
+	flateReaderPool.Put(fr)
+	if err != nil {
+		return nil, fmt.Errorf("dedupstore: inflating recipe: %w", err)
+	}
+	return DecodeRecipe(enc)
+}
+
+// drainAll consumes r to EOF through a pooled chunk buffer.
+func drainAll(r io.Reader) error {
+	bp := drainBufPool.Get().(*[]byte)
+	_, err := io.CopyBuffer(io.Discard, r, *bp)
+	drainBufPool.Put(bp)
+	return err
+}
+
+// isTarHeader reports whether block starts with a valid ustar header: the
+// stored octal checksum must match the block's byte sum (checksum field
+// counted as spaces). An all-zero block — a tar terminator — never
+// matches.
+func isTarHeader(block []byte) bool {
+	if len(block) < 512 {
+		return false
+	}
+	stored, ok := parseOctal(block[148:156])
+	if !ok {
+		return false
+	}
+	var unsigned int64
+	for i, c := range block[:512] {
+		if i >= 148 && i < 156 {
+			c = ' '
+		}
+		unsigned += int64(c)
+	}
+	return unsigned == stored
+}
+
+// parseOctal reads a NUL/space-terminated octal field.
+func parseOctal(b []byte) (int64, bool) {
+	var v int64
+	seen := false
+	for _, c := range b {
+		if c == ' ' || c == 0 {
+			if seen {
+				break
 			}
 			continue
 		}
-		rc, _, err := s.files.Get(e.Content)
-		if err != nil {
-			return nil, fmt.Errorf("dedupstore: pool lookup for %s: %w", e.Name, err)
+		if c < '0' || c > '7' {
+			return 0, false
 		}
-		data, err := io.ReadAll(rc)
+		v = v<<3 | int64(c-'0')
+		seen = true
+	}
+	return v, seen
+}
+
+// writeBlob streams a recipe's wire bytes to w: the tar is rebuilt from
+// pooled file contents (one pooled buffer at a time) and re-gzipped at the
+// materializer's compression level when the original was gzip-framed, so
+// the framing reproduces exactly.
+func (s *Store) writeBlob(rec *Recipe, w io.Writer) error {
+	var b *tarutil.Builder
+	var zw *gzip.Writer
+	if rec.Gzip {
+		zw, _ = gzipWriterPool.Get().(*gzip.Writer)
+		if zw == nil {
+			var err error
+			if zw, err = gzip.NewWriterLevel(w, gzip.DefaultCompression); err != nil {
+				return fmt.Errorf("dedupstore: gzip writer: %w", err)
+			}
+		} else {
+			zw.Reset(w)
+		}
+		defer gzipWriterPool.Put(zw)
+		b = tarutil.NewBuilder(zw)
+	} else {
+		b = tarutil.NewBuilder(w)
+	}
+
+	fbuf := fileBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		fbuf.Reset()
+		fileBufPool.Put(fbuf)
+	}()
+	for i := range rec.Entries {
+		e := &rec.Entries[i]
+		if e.Dir {
+			if err := b.Dir(e.Name); err != nil {
+				return err
+			}
+			continue
+		}
+		rc, _, err := s.pool.open(e.Content)
+		if err != nil {
+			return fmt.Errorf("dedupstore: pool lookup for %s: %w", e.Name, err)
+		}
+		fbuf.Reset()
+		_, err = fbuf.ReadFrom(rc)
 		rc.Close()
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("dedupstore: pool read for %s: %w", e.Name, err)
 		}
-		if err := b.File(e.Name, data); err != nil {
-			return nil, err
+		if int64(fbuf.Len()) != e.Size {
+			return fmt.Errorf("dedupstore: pool content for %s is %d bytes, recipe says %d",
+				e.Name, fbuf.Len(), e.Size)
+		}
+		if err := b.File(e.Name, fbuf.Bytes()); err != nil {
+			return err
 		}
 	}
 	if err := b.Close(); err != nil {
-		return nil, err
+		return err
 	}
-	out := buf.Bytes()
-	if got := digest.FromBytes(out); got != recipe.TarDigest {
-		return nil, fmt.Errorf("dedupstore: reassembly of %s produced %s (non-canonical source tar?)",
-			key.Short(), got.Short())
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("dedupstore: closing gzip stream: %w", err)
+		}
 	}
-	return out, nil
+	return nil
 }
 
-// Has reports whether the layer key is stored.
-func (s *Store) Has(key digest.Digest) bool {
+// Get implements blobstore.Store. Raw blobs stream straight from the
+// pool; recipe blobs are reconstructed on the fly (or served from the
+// reconstruction cache when configured). The returned size is the wire
+// size.
+func (s *Store) Get(d digest.Digest) (io.ReadCloser, int64, error) {
+	s.mu.RLock()
+	e, ok := s.blobs[d]
+	isRecipe := ok && e.recipeZ != nil
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, &UnknownBlobError{Digest: d}
+	}
+	if !isRecipe {
+		return s.pool.open(d)
+	}
+	if s.cache != nil {
+		rc, size, _, err := s.cache.GetOrFill(context.Background(), d,
+			func(ctx context.Context) (io.ReadCloser, int64, error) {
+				return s.openReconstruct(d)
+			})
+		return rc, size, err
+	}
+	return s.openReconstruct(d)
+}
+
+// openReconstruct pins the entry and starts the reassembly pipe. The pin
+// guarantees the recipe's pool files survive a concurrent Delete until the
+// reader closes.
+func (s *Store) openReconstruct(d digest.Digest) (io.ReadCloser, int64, error) {
+	s.mu.Lock()
+	e, ok := s.blobs[d]
+	if !ok {
+		s.mu.Unlock()
+		return nil, 0, &UnknownBlobError{Digest: d}
+	}
+	if e.recipeZ == nil {
+		s.mu.Unlock()
+		return s.pool.open(d)
+	}
+	e.readers++
+	z, size := e.recipeZ, e.size
+	s.mu.Unlock()
+
+	rec, err := decompressRecipe(z)
+	if err != nil {
+		s.unpin(e)
+		return nil, 0, err
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(s.writeBlob(rec, pw))
+	}()
+	return &blobReader{pr: pr, release: func() { s.unpin(e) }}, size, nil
+}
+
+// unpin drops one reader from a recipe entry and, for a condemned entry's
+// last reader, releases the recipe's pool references.
+func (s *Store) unpin(e *blobEntry) {
+	s.mu.Lock()
+	e.readers--
+	free := e.condemned && e.readers == 0
+	s.mu.Unlock()
+	if free {
+		s.releaseEntry(e)
+	}
+}
+
+// blobReader streams one reconstructed blob; Close stops the writer
+// goroutine and releases the read pin exactly once.
+type blobReader struct {
+	pr      *io.PipeReader
+	release func()
+	once    sync.Once
+}
+
+func (r *blobReader) Read(p []byte) (int, error) { return r.pr.Read(p) }
+
+func (r *blobReader) Close() error {
+	r.pr.Close()
+	r.once.Do(r.release)
+	return nil
+}
+
+// releaseEntry returns every file reference a recipe-backed entry holds.
+func (s *Store) releaseEntry(e *blobEntry) {
+	rec, err := decompressRecipe(e.recipeZ)
+	if err != nil {
+		// The store compressed these bytes itself, so this cannot happen;
+		// leaking the references beats unrefing the wrong files.
+		return
+	}
+	for i := range rec.Entries {
+		if !rec.Entries[i].Dir {
+			s.pool.unref(rec.Entries[i].Content)
+		}
+	}
+}
+
+// Stat implements blobstore.Store (wire size).
+func (s *Store) Stat(d digest.Digest) (int64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, ok := s.recipes[key]
+	e, ok := s.blobs[d]
+	if !ok {
+		return 0, &UnknownBlobError{Digest: d}
+	}
+	return e.size, nil
+}
+
+// Has implements blobstore.Store.
+func (s *Store) Has(d digest.Digest) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.blobs[d]
 	return ok
+}
+
+// Len implements blobstore.Store: the number of stored blobs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// TotalBytes implements blobstore.Store. For this backend it reports the
+// PHYSICAL footprint (pool + recipes), not the sum of wire sizes — that is
+// the whole point of the backend; the wire total is Stats().WireBytes.
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	recipes := s.recipeBytes
+	s.mu.RUnlock()
+	return s.pool.TotalBytes() + recipes
+}
+
+// Digests implements blobstore.Store (sorted, like the other backends).
+func (s *Store) Digests() []digest.Digest {
+	s.mu.RLock()
+	out := make([]digest.Digest, 0, len(s.blobs))
+	for d := range s.blobs {
+		out = append(out, d)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Delete implements blobstore.Store. The blob disappears immediately —
+// subsequent Gets miss — but pool bytes referenced by in-flight
+// reconstructing reads survive until the last such reader closes
+// (condemned entries). Raw blobs release their pool reference at once;
+// their already-open readers stay valid by the backing stores' unlink
+// semantics.
+func (s *Store) Delete(d digest.Digest) error {
+	s.mu.Lock()
+	e, ok := s.blobs[d]
+	if !ok {
+		s.mu.Unlock()
+		return &UnknownBlobError{Digest: d}
+	}
+	delete(s.blobs, d)
+	s.wire -= e.size
+	if e.recipeZ != nil {
+		s.layers--
+		s.logical -= e.logical
+		s.recipeBytes -= int64(len(e.recipeZ))
+		s.instances -= e.files
+	} else {
+		s.raw--
+		s.logical -= e.size
+	}
+	pinned := e.recipeZ != nil && e.readers > 0
+	if pinned {
+		e.condemned = true
+	}
+	s.mu.Unlock()
+
+	if s.cache != nil {
+		s.cache.Invalidate(d)
+	}
+	if !pinned {
+		if e.recipeZ != nil {
+			s.releaseEntry(e)
+		} else {
+			s.pool.unref(d)
+		}
+	}
+	return nil
+}
+
+// Recipe returns the stored recipe for a decomposed blob (nil for raw
+// blobs), for tests and diagnostics.
+func (s *Store) Recipe(d digest.Digest) *Recipe {
+	s.mu.RLock()
+	e, ok := s.blobs[d]
+	s.mu.RUnlock()
+	if !ok || e.recipeZ == nil {
+		return nil
+	}
+	rec, err := decompressRecipe(e.recipeZ)
+	if err != nil {
+		return nil
+	}
+	return rec
 }
 
 // Stats returns the current storage accounting.
@@ -235,11 +814,23 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
-		Layers:       len(s.recipes),
+		Layers:       s.layers,
+		RawBlobs:     s.raw,
 		LogicalBytes: s.logical,
-		FileBytes:    s.files.TotalBytes(),
-		RecipeBytes:  s.recipeSize,
-		UniqueFiles:  s.files.Len(),
+		WireBytes:    s.wire,
+		FileBytes:    s.pool.TotalBytes(),
+		RecipeBytes:  s.recipeBytes,
+		UniqueFiles:  s.pool.Len(),
 		TotalFiles:   s.instances,
 	}
+}
+
+// CacheStats snapshots the reconstruction cache's counters (nil when no
+// cache is configured).
+func (s *Store) CacheStats() *cache.Stats {
+	if s.cache == nil {
+		return nil
+	}
+	st := s.cache.Stats()
+	return &st
 }

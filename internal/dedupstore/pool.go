@@ -1,0 +1,226 @@
+package dedupstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+)
+
+// DefaultPoolShards is the stripe count NewMemoryPool/NewDiskPool use when
+// the caller passes 0. Sixteen stripes keep lock hold times short under
+// the worker fan-outs the serving path runs (8–16 concurrent pulls).
+const DefaultPoolShards = 16
+
+// Pool is the shared content-addressed file pool under a dedup Store:
+// file contents (and raw blobs) keyed by their SHA-256 digest, reference
+// counted, striped across independently locked shards. Writes of the same
+// digest coalesce — no matter how many concurrent pushes carry a file,
+// exactly one copy streams into the backing store — and a digest's bytes
+// are deleted from the backing exactly when its last reference is
+// released.
+//
+// Safe for concurrent use.
+type Pool struct {
+	shards []*poolShard
+}
+
+// poolShard is one stripe: its own backing store, refcounts, and
+// singleflight table.
+type poolShard struct {
+	backing blobstore.Store
+
+	mu      sync.Mutex
+	refs    map[digest.Digest]int64
+	flights map[digest.Digest]*poolFlight
+}
+
+// poolFlight is one in-progress backing write. err is set before done
+// closes.
+type poolFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// NewPool builds a pool striped over the given backing stores (one shard
+// per store). The pool owns the backings: it deletes unreferenced digests
+// from them, so they must not be shared with other writers.
+func NewPool(backings ...blobstore.Store) *Pool {
+	p := &Pool{shards: make([]*poolShard, len(backings))}
+	for i, b := range backings {
+		p.shards[i] = &poolShard{
+			backing: b,
+			refs:    make(map[digest.Digest]int64),
+			flights: make(map[digest.Digest]*poolFlight),
+		}
+	}
+	return p
+}
+
+// NewMemoryPool returns a pool over in-memory shards (DefaultPoolShards
+// when shards <= 0).
+func NewMemoryPool(shards int) *Pool {
+	if shards <= 0 {
+		shards = DefaultPoolShards
+	}
+	backings := make([]blobstore.Store, shards)
+	for i := range backings {
+		backings[i] = blobstore.NewMemory()
+	}
+	return NewPool(backings...)
+}
+
+// NewDiskPool returns a pool over disk shards rooted at dir/sNN
+// (DefaultPoolShards when shards <= 0).
+func NewDiskPool(dir string, shards int) (*Pool, error) {
+	if shards <= 0 {
+		shards = DefaultPoolShards
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dedupstore: creating pool root: %w", err)
+	}
+	backings := make([]blobstore.Store, shards)
+	for i := range backings {
+		d, err := blobstore.NewDisk(filepath.Join(dir, fmt.Sprintf("s%02d", i)))
+		if err != nil {
+			return nil, err
+		}
+		backings[i] = d
+	}
+	return NewPool(backings...), nil
+}
+
+func (p *Pool) shardFor(d digest.Digest) *poolShard {
+	return p.shards[d.Key64()%uint64(len(p.shards))]
+}
+
+// add stores content under d (the caller has already hashed it) and counts
+// one reference. Concurrent adds of the same digest coalesce onto one
+// backing write; the losers just take references. A failed write lets the
+// next waiter retry as the new winner.
+func (p *Pool) add(d digest.Digest, content []byte) error {
+	sh := p.shardFor(d)
+	for {
+		sh.mu.Lock()
+		if sh.refs[d] > 0 {
+			sh.refs[d]++
+			sh.mu.Unlock()
+			return nil
+		}
+		if f, ok := sh.flights[d]; ok {
+			sh.mu.Unlock()
+			<-f.done
+			// Success: loop to take a reference. Failure: loop to retry as
+			// the winner.
+			continue
+		}
+		f := &poolFlight{done: make(chan struct{})}
+		sh.flights[d] = f
+		sh.mu.Unlock()
+
+		err := sh.backing.PutVerified(d, content)
+		sh.mu.Lock()
+		delete(sh.flights, d)
+		if err == nil {
+			sh.refs[d] = 1
+		}
+		sh.mu.Unlock()
+		f.err = err
+		close(f.done)
+		if err != nil {
+			return fmt.Errorf("dedupstore: pooling %s: %w", d.Short(), err)
+		}
+		return nil
+	}
+}
+
+// addStream is add for content that only exists as a stream (raw blobs on
+// the put path). The stream is always consumed to EOF and digest-verified,
+// even when the digest is already pooled.
+func (p *Pool) addStream(d digest.Digest, r io.Reader) (int64, error) {
+	sh := p.shardFor(d)
+	for {
+		sh.mu.Lock()
+		if sh.refs[d] > 0 {
+			sh.refs[d]++
+			sh.mu.Unlock()
+			return blobstore.DrainVerify(d, r)
+		}
+		if f, ok := sh.flights[d]; ok {
+			sh.mu.Unlock()
+			<-f.done
+			continue
+		}
+		f := &poolFlight{done: make(chan struct{})}
+		sh.flights[d] = f
+		sh.mu.Unlock()
+
+		n, err := sh.backing.PutStream(d, r)
+		sh.mu.Lock()
+		delete(sh.flights, d)
+		if err == nil {
+			sh.refs[d] = 1
+		}
+		sh.mu.Unlock()
+		f.err = err
+		close(f.done)
+		return n, err
+	}
+}
+
+// unref releases one reference, deleting the backing bytes when the count
+// reaches zero. The delete happens under the shard lock so it cannot
+// interleave with a concurrent add's backing write (add only writes while
+// holding the digest's flight slot, which is never granted while
+// references exist). Readers already streaming the digest are safe: both
+// backing store kinds keep open readers valid after Delete.
+func (p *Pool) unref(d digest.Digest) {
+	sh := p.shardFor(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := sh.refs[d]
+	switch {
+	case n > 1:
+		sh.refs[d] = n - 1
+	case n == 1:
+		delete(sh.refs, d)
+		sh.backing.Delete(d)
+	}
+}
+
+// open returns a reader over a pooled digest's bytes.
+func (p *Pool) open(d digest.Digest) (io.ReadCloser, int64, error) {
+	return p.shardFor(d).backing.Get(d)
+}
+
+// has reports whether d is pooled with a live reference.
+func (p *Pool) has(d digest.Digest) bool {
+	sh := p.shardFor(d)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.refs[d] > 0
+}
+
+// Len returns the number of pooled digests.
+func (p *Pool) Len() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.refs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TotalBytes returns the pooled bytes (each digest counted once).
+func (p *Pool) TotalBytes() int64 {
+	var n int64
+	for _, sh := range p.shards {
+		n += sh.backing.TotalBytes()
+	}
+	return n
+}

@@ -17,6 +17,7 @@ var deterministicPkgs = []string{
 	"internal/analyzer",
 	"internal/synth",
 	"internal/cluster",
+	"internal/dedupstore",
 }
 
 // adhocClockFuncs are the package time functions that read or wait on

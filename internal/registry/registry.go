@@ -379,7 +379,16 @@ func (r *Registry) serveBlob(w http.ResponseWriter, req *http.Request, ref strin
 		}
 	}
 	r.blobGets.Add(1)
-	n, _ := io.CopyN(w, rc, length)
+	var n int64
+	if partial {
+		n, _ = io.CopyN(w, rc, length)
+	} else {
+		// Full-body reads copy through EOF rather than stopping at the
+		// byte count: stores that tee the stream into a cache (the dedup
+		// backend's reconstruction cache) only complete admission when the
+		// consumer observes end-of-stream.
+		n, _ = io.Copy(w, rc)
+	}
 	r.blobBytes.Add(n)
 }
 

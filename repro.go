@@ -74,6 +74,13 @@ type Options struct {
 	// ClusterReplicas is the copies kept of each blob/tag in cluster mode
 	// (2 when 0, capped at ClusterNodes).
 	ClusterReplicas int
+	// DedupStorage materializes the registry onto the file-deduplicating
+	// storage backend (internal/dedupstore) instead of a plain blob store
+	// (wire mode only): layers decompose into a shared content pool on
+	// push and reconstruct bit-identically on every pull. Figures are
+	// bit-identical to a plain-backend wire run; the backend's storage
+	// accounting lands in Result.DedupStats.
+	DedupStorage bool
 }
 
 // Result re-exports the study outcome.
@@ -115,6 +122,7 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		MirrorWarm:       opts.MirrorWarm,
 		ClusterNodes:     opts.ClusterNodes,
 		ClusterReplicas:  opts.ClusterReplicas,
+		DedupStorage:     opts.DedupStorage,
 	}
 	if opts.Wire {
 		return study.RunWireContext(ctx)
