@@ -7,7 +7,7 @@
 // Usage:
 //
 //	goldencheck [-scale 0.0001] [-model-scale 0.0002] [-seed 0] [-workers 1,4,8]
-//	            [-mirror] [-cluster] [-dedup]
+//	            [-mirror] [-cluster] [-dedup] [-live] [-live-churn 0.3]
 //
 // -mirror adds two wire configurations that pull through the caching
 // mirror (cold cache and pre-warmed cache); -cluster adds two that pull
@@ -18,6 +18,17 @@
 // wire-path variant at the same scale must render the exact bytes of the
 // direct wire run — goldencheck verifies this itself and exits non-zero
 // on any divergence.
+//
+// -live adds two resident-service configurations: images pushed over HTTP
+// into the live-analytics registry, figures rendered from the
+// incrementally maintained index (no batch pass), once without churn and
+// once with a -live-churn fraction of the population deleted and
+// re-pushed mid-run. Each live run's figures are checked against a batch
+// AnalyzeStore pass over the registry the run left behind, the churned
+// run against the churn-free one, and all live runs across worker counts
+// against each other; any divergence exits non-zero. The live figure set
+// has no crawl/download inputs (no tabM/fig25), so it fingerprints in its
+// own reference group, not against the wire runs.
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/core"
 )
 
 func main() {
@@ -40,6 +52,8 @@ func main() {
 	mirrorBytes := flag.Int64("mirror-bytes", 8<<20, "mirror cache byte budget for -mirror runs")
 	withCluster := flag.Bool("cluster", false, "also fingerprint wire runs pulled through the sharded cluster router (1 node and 4 nodes/2 replicas)")
 	withDedup := flag.Bool("dedup", false, "also fingerprint wire runs served from the file-deduplicating storage backend (two-phase + fused)")
+	withLive := flag.Bool("live", false, "also fingerprint live resident-service runs (incremental index vs batch reference, churn-free + churned)")
+	liveChurn := flag.Float64("live-churn", 0.3, "fraction of the population deleted and re-pushed in the churned -live run")
 	flag.Parse()
 
 	var workers []int
@@ -62,6 +76,8 @@ func main() {
 		nodes       int
 		replicas    int
 		dedup       bool
+		live        bool
+		churn       float64
 	}
 	modes := []mode{
 		{name: "model", scale: *modelScale},
@@ -86,10 +102,19 @@ func main() {
 			mode{name: "dedup-fused", wire: true, fused: true, scale: *scale, dedup: true},
 		)
 	}
+	if *withLive {
+		modes = append(modes,
+			mode{name: "live", live: true, scale: *scale},
+			mode{name: "live-churn", live: true, scale: *scale, churn: *liveChurn},
+		)
+	}
 
 	// Every wire-path mode must render byte-identical figures; the direct
-	// wire run at the same worker count is the reference.
+	// wire run at the same worker count is the reference. Live modes form
+	// their own reference group (no crawl/download figures) and are
+	// additionally checked against their own batch reference.
 	wireRef := make(map[int]string)
+	liveRef := ""
 	diverged := false
 	for _, mode := range modes {
 		for _, w := range workers {
@@ -104,6 +129,8 @@ func main() {
 				ClusterNodes:     mode.nodes,
 				ClusterReplicas:  mode.replicas,
 				DedupStorage:     mode.dedup,
+				Live:             mode.live,
+				LiveChurn:        mode.churn,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "goldencheck: %s w=%d: %v\n", mode.name, w, err)
@@ -127,6 +154,31 @@ func main() {
 			}
 			if res.DedupStats != nil {
 				extra += fmt.Sprintf(" dedup-savings=%.2fx", res.DedupStats.SavingsRatio())
+			}
+			if mode.live {
+				extra += fmt.Sprintf(" walked=%d deletes=%d",
+					res.IngestStats.BlobsWalked, res.IngestStats.TagDeletes)
+				// The incremental index against a fresh batch pass over the
+				// registry this very run left behind — the core claim.
+				batch, err := core.LiveBatchFigures(res, w)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "goldencheck: %s w=%d batch reference: %v\n", mode.name, w, err)
+					os.Exit(1)
+				}
+				bh := sha256.New()
+				for _, fig := range batch {
+					fmt.Fprintln(bh, fig.String())
+				}
+				if fmt.Sprintf("%x", bh.Sum(nil)) != sum {
+					extra += "  << DIVERGES from batch reference"
+					diverged = true
+				}
+				if liveRef == "" {
+					liveRef = sum
+				} else if sum != liveRef {
+					extra += "  << DIVERGES from live"
+					diverged = true
+				}
 			}
 			if mode.wire {
 				if ref, ok := wireRef[w]; !ok {

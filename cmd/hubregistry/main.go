@@ -11,11 +11,20 @@
 //
 //	hubregistry -data ./hub [-addr :5000] [-search-addr :5001]
 //	            [-storage plain|dedup] [-max-inflight 0] [-drain 10s]
+//	            [-analytics] [-analytics-addr :5002]
 //
 // -storage dedup serves from the file-deduplicating backend
 // (internal/dedupstore): startup re-ingests the materialized blobs into a
 // content-addressed file pool under <data>/dedup-pool and prints the
 // realized savings; every pull reconstructs the exact wire bytes.
+//
+// -analytics attaches the always-on incremental analytics service
+// (internal/analytics) to the registry's write path and serves its query
+// API (/analytics/summary, /analytics/dedup, /analytics/figure/{id}) on
+// -analytics-addr. The hook is installed before the hub state, so the
+// tag registrations at startup backfill the live index from the stored
+// blobs; pushes and deletes arriving over the wire afterwards keep it
+// current incrementally.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 
 	"io"
 
+	"repro/internal/analytics"
 	"repro/internal/blobstore"
 	"repro/internal/core"
 	"repro/internal/dedupstore"
@@ -45,6 +55,8 @@ func main() {
 	storage := flag.String("storage", "plain", "blob storage backend: plain (disk) or dedup (file-deduplicating pool)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests per service (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	withAnalytics := flag.Bool("analytics", false, "attach the live analytics service to the registry write path and serve its query API")
+	analyticsAddr := flag.String("analytics-addr", ":5002", "analytics API listen address (with -analytics)")
 	flag.Parse()
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "hubregistry: -data is required")
@@ -81,6 +93,13 @@ func main() {
 		os.Exit(2)
 	}
 	reg := registry.New(store)
+	var live *analytics.Live
+	if *withAnalytics {
+		// Installed before the hub state so the tag registrations below
+		// backfill the live index with fallback walks over the stored blobs.
+		live = analytics.New(store, st.Repos)
+		reg.SetIngest(live)
+	}
 	if err := st.Install(reg); err != nil {
 		fatal(err)
 	}
@@ -101,6 +120,19 @@ func main() {
 	if err := group.Start(searchSrv); err != nil {
 		group.Shutdown(context.Background())
 		fatal(err)
+	}
+	if live != nil {
+		liveSrv := &serve.Server{
+			Name: "analytics", Addr: *analyticsAddr, Handler: live.Handler(),
+			MaxInFlight: *maxInFlight, DrainTimeout: *drain,
+		}
+		if err := group.Start(liveSrv); err != nil {
+			group.Shutdown(context.Background())
+			fatal(err)
+		}
+		ist := live.Stats()
+		fmt.Printf("hubregistry: analytics on %s (epoch %d; startup backfill walked %d layers, %d skipped)\n",
+			liveSrv.URL(), live.Epoch(), ist.FallbackWalks, ist.SkippedLayers)
 	}
 
 	fmt.Printf("hubregistry: %d repos, %d blobs; registry on %s, search on %s\n",

@@ -1,0 +1,319 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+	"repro/internal/httpx"
+	"repro/internal/manifest"
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// analyticsPushRun is one backend's push-phase measurements.
+type analyticsPushRun struct {
+	Mode       string  `json:"mode"` // "plain" or "live"
+	Blobs      int     `json:"blobs"`
+	Manifests  int     `json:"manifests"`
+	WallS      float64 `json:"wall_s"`
+	BytesPerS  float64 `json:"bytes_per_s"`
+	PushesPerS float64 `json:"pushes_per_s"`
+	// VsPlain is this run's push throughput relative to the plain run
+	// (1.0 for plain itself); the live run's value is the ingest
+	// overhead the wire tee costs.
+	VsPlain float64 `json:"vs_plain"`
+}
+
+// analyticsQueryStats is the query-side view measured while the live
+// push phase was in flight.
+type analyticsQueryStats struct {
+	Queries   int `json:"queries"`
+	Failed    int `json:"failed"`
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	FinalEpoch uint64 `json:"final_epoch"`
+}
+
+// analyticsReport is the BENCH_analytics.json document.
+type analyticsReport struct {
+	Scale        float64               `json:"scale"`
+	Seed         int64                 `json:"seed"`
+	Workers      int                   `json:"workers"`
+	QueryWorkers int                   `json:"query_workers"`
+	Runs         []analyticsPushRun    `json:"runs"`
+	Query        analyticsQueryStats   `json:"query"`
+	Ingest       analytics.IngestStats `json:"ingest"`
+}
+
+// pushJob is one pre-rendered HTTP upload: a blob or a manifest.
+type pushJob struct {
+	repo string
+	blob []byte             // nil for manifest jobs
+	d    digest.Digest      // blob digest
+	m    *manifest.Manifest // nil for blob jobs
+}
+
+// renderPushLoad pre-renders the whole population's wire uploads so the
+// measured phase is all HTTP: every unique layer once (under the first
+// repo referencing it), every downloadable repo's config, and every
+// manifest. Blobs and manifests are returned separately — manifests must
+// be pushed after their blobs are stored.
+func renderPushLoad(ds *synth.Dataset) (blobs, manifests []pushJob, err error) {
+	pushed := make(map[synth.LayerID]bool)
+	for ri := range ds.Repos {
+		r := &ds.Repos[ri]
+		if !r.Downloadable() {
+			continue
+		}
+		imgID := synth.ImageID(r.Image)
+		layers := ds.ImageLayers(imgID)
+		descs := make([]manifest.Descriptor, len(layers))
+		for j, l := range layers {
+			data, err := synth.RenderLayer(ds, l)
+			if err != nil {
+				return nil, nil, err
+			}
+			d := digest.FromBytes(data)
+			if !pushed[l] {
+				pushed[l] = true
+				blobs = append(blobs, pushJob{repo: r.Name, blob: data, d: d})
+			}
+			descs[j] = manifest.Descriptor{
+				MediaType: manifest.MediaTypeLayer,
+				Size:      int64(len(data)),
+				Digest:    d,
+			}
+		}
+		cfg, err := json.Marshal(manifest.Config{
+			Architecture: "amd64",
+			OS:           "linux",
+			Created:      fmt.Sprintf("2017-05-%02dT00:00:00Z", 1+int(imgID)%30),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cfgDg := digest.FromBytes(cfg)
+		blobs = append(blobs, pushJob{repo: r.Name, blob: cfg, d: cfgDg})
+		m, err := manifest.New(manifest.Descriptor{
+			MediaType: manifest.MediaTypeConfig,
+			Size:      int64(len(cfg)),
+			Digest:    cfgDg,
+		}, descs)
+		if err != nil {
+			return nil, nil, err
+		}
+		manifests = append(manifests, pushJob{repo: r.Name, m: m})
+	}
+	return blobs, manifests, nil
+}
+
+// pushAll drives both job phases through the wire with the given worker
+// fan-out and returns the wall time and bytes uploaded.
+func pushAll(client *registry.Client, blobs, manifests []pushJob, workers int) (time.Duration, int64, error) {
+	var bytes int64
+	for i := range blobs {
+		bytes += int64(len(blobs[i].blob))
+	}
+	start := time.Now()
+	run := func(jobs []pushJob) error {
+		work := make(chan *pushJob)
+		errs := make(chan error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range work {
+					var err error
+					if j.m != nil {
+						_, err = client.PushManifest(j.repo, "latest", j.m)
+					} else {
+						_, err = client.PushBlob(j.repo, j.blob)
+					}
+					if err != nil {
+						errs <- fmt.Errorf("pushing to %s: %w", j.repo, err)
+						return
+					}
+				}
+			}()
+		}
+		for i := range jobs {
+			work <- &jobs[i]
+		}
+		close(work)
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+	if err := run(blobs); err != nil {
+		return 0, 0, err
+	}
+	if err := run(manifests); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), bytes, nil
+}
+
+// runAnalyticsSweep measures what the always-on analytics hook costs the
+// push path and what queries cost under a write storm: the same
+// pre-rendered population is pushed over HTTP against a plain registry
+// and against one with the live-analytics tee, while query clients hammer
+// the live run's /analytics endpoints. Results land in
+// BENCH_analytics.json via -json.
+func runAnalyticsSweep(scale float64, workers, queryWorkers int, seed int64, jsonPath string) {
+	spec := synth.MaterializeSpec(scale)
+	if seed != 0 {
+		spec.Seed = seed
+	}
+	ds, err := synth.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+	blobs, manifests, err := renderPushLoad(ds)
+	if err != nil {
+		fatal(err)
+	}
+	repos := synth.Repositories(ds)
+	out := analyticsReport{Scale: scale, Seed: spec.Seed, Workers: workers, QueryWorkers: queryWorkers}
+
+	for _, mode := range []string{"plain", "live"} {
+		reg := registry.New(blobstore.NewMemory())
+		for i := range repos {
+			reg.CreateRepo(repos[i].Name, repos[i].Private)
+		}
+		var live *analytics.Live
+		var g serve.Group
+		srv := &serve.Server{Name: "registry", Handler: reg}
+		if err := g.Start(srv); err != nil {
+			fatal(err)
+		}
+		var apiURL string
+		if mode == "live" {
+			live = analytics.New(reg.Blobs(), repos)
+			reg.SetIngest(live)
+			api := &serve.Server{Name: "analytics", Handler: live.Handler()}
+			if err := g.Start(api); err != nil {
+				fatal(err)
+			}
+			apiURL = api.URL()
+		}
+		client := &registry.Client{Base: srv.URL(), HTTP: srv.Client(), Token: "loadgen"}
+
+		// Query clients run for the live push phase's whole duration:
+		// latency measured under maximum write pressure.
+		stop := make(chan struct{})
+		var qwg sync.WaitGroup
+		var qmu sync.Mutex
+		qlat := &stats.CDF{}
+		qfailed := 0
+		if mode == "live" {
+			paths := []string{"/analytics/summary", "/analytics/dedup"}
+			for w := 0; w < queryWorkers; w++ {
+				qwg.Add(1)
+				go func(w int) {
+					defer qwg.Done()
+					hc := &http.Client{Transport: httpx.NewTransport()}
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						began := time.Now()
+						resp, err := hc.Get(apiURL + paths[(w+i)%len(paths)])
+						if err == nil {
+							_, err = io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+							if resp.StatusCode != http.StatusOK {
+								err = fmt.Errorf("status %d", resp.StatusCode)
+							}
+						}
+						qmu.Lock()
+						if err != nil {
+							qfailed++
+						} else {
+							qlat.Add(time.Since(began).Seconds() * 1000)
+						}
+						qmu.Unlock()
+					}
+				}(w)
+			}
+		}
+
+		wall, bytes, err := pushAll(client, blobs, manifests, workers)
+		close(stop)
+		qwg.Wait()
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.Shutdown(context.Background()); err != nil {
+			fatal(err)
+		}
+
+		run := analyticsPushRun{
+			Mode:       mode,
+			Blobs:      len(blobs),
+			Manifests:  len(manifests),
+			WallS:      wall.Seconds(),
+			BytesPerS:  float64(bytes) / wall.Seconds(),
+			PushesPerS: float64(len(blobs)+len(manifests)) / wall.Seconds(),
+			VsPlain:    1,
+		}
+		if len(out.Runs) > 0 {
+			run.VsPlain = run.BytesPerS / out.Runs[0].BytesPerS
+		}
+		out.Runs = append(out.Runs, run)
+		fmt.Printf("%-5s push: %d blobs + %d manifests in %s (%s/s, %.2fx plain)\n",
+			mode, run.Blobs, run.Manifests, wall.Round(time.Millisecond),
+			report.FormatBytes(run.BytesPerS), run.VsPlain)
+
+		if mode == "live" {
+			out.Query.Queries = qlat.N()
+			out.Query.Failed = qfailed
+			if qlat.N() > 0 {
+				out.Query.LatencyMS.P50 = qlat.Median()
+				out.Query.LatencyMS.P90 = qlat.P(90)
+				out.Query.LatencyMS.P99 = qlat.P(99)
+				out.Query.LatencyMS.Max = qlat.Max()
+			}
+			out.Query.FinalEpoch = live.Epoch()
+			out.Ingest = live.Stats()
+			fmt.Printf("  queries under push load: %d ok, %d failed", out.Query.Queries, out.Query.Failed)
+			if qlat.N() > 0 {
+				fmt.Printf("; latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+					out.Query.LatencyMS.P50, out.Query.LatencyMS.P90,
+					out.Query.LatencyMS.P99, out.Query.LatencyMS.Max)
+			}
+			fmt.Printf("\n  ingest: walked=%d walk-errors=%d manifests=%d skipped=%d epoch=%d\n",
+				out.Ingest.BlobsWalked, out.Ingest.WalkErrors,
+				out.Ingest.ManifestEvents, out.Ingest.SkippedLayers, out.Query.FinalEpoch)
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}

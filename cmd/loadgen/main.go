@@ -36,6 +36,15 @@
 // plain store's — the §VI storage-backend experiment. -json writes the
 // comparison machine-readably (BENCH_dedup.json).
 //
+// With -analytics the command prices the always-on analytics service
+// (internal/analytics): the same pre-rendered population is pushed over
+// HTTP into a plain registry and into one whose write path feeds the
+// live-analytics ingest tee, while -query-workers clients hammer the
+// live run's /analytics/summary and /analytics/dedup endpoints. The
+// report gives the hooked push path's throughput relative to plain (the
+// tee's ingest overhead) and query latency percentiles under maximum
+// write pressure. -json writes it machine-readably (BENCH_analytics.json).
+//
 // The generator crawls the search API for the repository population and
 // pull counts, synthesizes a pull trace proportional to those counts, and
 // replays it closed-loop: each simulated client pulls the manifest and all
@@ -83,7 +92,10 @@ func main() {
 	nodeBW := flag.Int64("node-bw", 512<<10, "per-node egress pacing in bytes/s for -cluster (0 = unpaced); keep it well under one core's serving rate so the sweep is bandwidth-bound")
 	dedup := flag.Bool("dedup", false, "run the self-served storage-backend comparison (plain vs dedup) instead of hitting -registry")
 	dedupScale := flag.Float64("dedup-scale", 0.001, "dataset scale for the -dedup comparison (synth.DedupSweepSpec)")
-	jsonPath := flag.String("json", "", "write -cluster/-dedup sweep results to this file as JSON")
+	analyticsSweep := flag.Bool("analytics", false, "run the self-served live-analytics cost sweep (hooked vs plain push, queries under load) instead of hitting -registry")
+	analyticsScale := flag.Float64("analytics-scale", 0.0003, "dataset scale for the -analytics sweep")
+	queryWorkers := flag.Int("query-workers", 4, "concurrent /analytics query clients during the -analytics live push phase")
+	jsonPath := flag.String("json", "", "write -cluster/-dedup/-analytics sweep results to this file as JSON")
 	flag.Parse()
 
 	if *clusterList != "" {
@@ -92,6 +104,10 @@ func main() {
 	}
 	if *dedup {
 		runDedupSweep(*dedupScale, *pulls, *workers, *seed, *jsonPath)
+		return
+	}
+	if *analyticsSweep {
+		runAnalyticsSweep(*analyticsScale, *workers, *queryWorkers, *seed, *jsonPath)
 		return
 	}
 

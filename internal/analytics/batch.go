@@ -1,0 +1,50 @@
+package analytics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/downloader"
+	"repro/internal/manifest"
+	"repro/internal/registry"
+)
+
+// RegistryImages enumerates a registry's currently tagged images in the
+// downloader's shape — the input a batch analyzer.AnalyzeStore pass
+// needs. It is how live figures are verified: render the snapshot, run
+// the batch pipeline over RegistryImages of the same registry, and the
+// two must be bit-identical.
+func RegistryImages(reg *registry.Registry) ([]downloader.Image, error) {
+	var out []downloader.Image
+	names := reg.Repos()
+	sort.Strings(names)
+	for _, name := range names {
+		tags, err := reg.Tags(name)
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(tags)
+		for _, tag := range tags {
+			d, err := reg.ResolveTag(name, tag)
+			if err != nil {
+				return nil, err
+			}
+			rc, _, err := reg.Blobs().Get(d)
+			if err != nil {
+				return nil, fmt.Errorf("analytics: manifest %s: %w", d.Short(), err)
+			}
+			raw, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				return nil, err
+			}
+			m, err := manifest.Unmarshal(raw)
+			if err != nil {
+				return nil, fmt.Errorf("analytics: manifest %s: %w", d.Short(), err)
+			}
+			out = append(out, downloader.Image{Repo: name, Digest: d, Manifest: m})
+		}
+	}
+	return out, nil
+}

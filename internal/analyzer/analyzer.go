@@ -200,6 +200,18 @@ type WalkedLayer struct {
 	files   []dedup.FileObs
 }
 
+// Profile returns the walked layer's profile. Refs is zero: reference
+// counts are a property of the image set, not of the layer bytes, and
+// are assigned by whichever analysis consumes the walk.
+func (wl *WalkedLayer) Profile() LayerProfile { return wl.profile }
+
+// Files returns the layer's file observations. The live-analytics
+// service retains them verbatim and replays them into its census
+// (dedup.Index.ObserveLayer sorts them by key on first ingestion, the
+// same canonical order the batch drain sees); callers must treat the
+// slice as immutable once ingested.
+func (wl *WalkedLayer) Files() []dedup.FileObs { return wl.files }
+
 // uniqueFilesPerLayerHint pre-sizes the wire-mode dedup census: at paper
 // scale 5.28 B instances over 1.79 M unique layers is ~2950 files per
 // layer, of which ~3.2% survive dedup — roughly 94 unique files per layer.

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/blobstore"
 	"repro/internal/cache"
 	"repro/internal/dedupstore"
@@ -66,6 +67,11 @@ type Config struct {
 	// the node's content pool and reconstruct bit-identically on every
 	// pull. Node bytes served are unchanged — only what the node stores.
 	DedupStorage bool
+	// LiveAnalytics hooks an always-on analytics service onto each node's
+	// write path: pushed layer bytes are analyzed in flight and every node
+	// serves its own /analytics/ query API next to /v2/. Serving behavior
+	// is unchanged — the hook only observes.
+	LiveAnalytics bool
 }
 
 // node is one registry member: its own store, its own listener.
@@ -73,6 +79,7 @@ type node struct {
 	id    string // base URL once started; the ring member ID
 	reg   *registry.Registry
 	dedup *dedupstore.Store // non-nil with Config.DedupStorage
+	live  *analytics.Live   // non-nil with Config.LiveAnalytics
 	srv   *serve.Server
 }
 
@@ -123,6 +130,16 @@ func Launch(g *serve.Group, cfg Config) (*Cluster, error) {
 			n.reg = registry.New(blobstore.NewMemory())
 		}
 		var h http.Handler = n.reg
+		if cfg.LiveAnalytics {
+			// Per-node live index over the node's own store; repository
+			// metadata arrives via SetRepos once the caller knows it (Seed).
+			n.live = analytics.New(n.reg.Blobs(), nil)
+			n.reg.SetIngest(n.live)
+			mux := http.NewServeMux()
+			mux.Handle("/analytics/", n.live.Handler())
+			mux.Handle("/", n.reg)
+			h = mux
+		}
 		if cfg.NodeBandwidth > 0 {
 			h = paced(h, newPacer(cfg.NodeBandwidth, cfg.Now))
 		}
@@ -182,6 +199,14 @@ func (c *Cluster) Replicas() int { return c.cfg.Replicas }
 // and per-node serving counters.
 func (c *Cluster) NodeRegistry(i int) *registry.Registry { return c.nodes[i].reg }
 
+// NodeLive exposes node i's live analytics service (nil unless the
+// cluster was launched with Config.LiveAnalytics).
+func (c *Cluster) NodeLive(i int) *analytics.Live { return c.nodes[i].live }
+
+// NodeURL returns node i's base URL — both its registry (/v2/) and, with
+// live analytics, its query API (/analytics/) serve there.
+func (c *Cluster) NodeURL(i int) string { return c.nodes[i].id }
+
 // NodeStats is one node's serving counters.
 type NodeStats struct {
 	ID       string         `json:"id"`
@@ -189,6 +214,9 @@ type NodeStats struct {
 	// Dedup is the node's storage accounting when the cluster runs on the
 	// deduplicating backend (nil otherwise).
 	Dedup *dedupstore.Stats `json:"dedup,omitempty"`
+	// Ingest is the node's live-analytics counters when the cluster runs
+	// with the always-on hook (nil otherwise).
+	Ingest *analytics.IngestStats `json:"ingest,omitempty"`
 }
 
 // Stats snapshots every node's counters.
@@ -199,6 +227,10 @@ func (c *Cluster) Stats() []NodeStats {
 		if n.dedup != nil {
 			st := n.dedup.Stats()
 			out[i].Dedup = &st
+		}
+		if n.live != nil {
+			st := n.live.Stats()
+			out[i].Ingest = &st
 		}
 	}
 	return out
@@ -237,6 +269,11 @@ func (c *Cluster) Seed(src *registry.Registry, repos []manifest.Repository) erro
 	private := make(map[string]bool, len(repos))
 	for i := range repos {
 		private[repos[i].Name] = repos[i].Private
+	}
+	for _, n := range c.nodes {
+		if n.live != nil {
+			n.live.SetRepos(repos)
+		}
 	}
 	names := src.Repos()
 	for _, name := range names {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/analytics"
 	"repro/internal/analyzer"
 	"repro/internal/cache"
 	"repro/internal/cluster"
@@ -77,6 +78,11 @@ type Study struct {
 	// In cluster mode each node's registry gets its own dedup backend too.
 	// Figures stay bit-identical to a plain-backend wire run.
 	DedupStorage bool
+	// LiveChurn, in live mode (RunLive), deletes and re-pushes this
+	// fraction of the tagged population before reporting, exercising the
+	// live index's rollup path. Figures must come out identical to a
+	// churn-free run.
+	LiveChurn float64
 }
 
 // Result is everything a study produces.
@@ -105,6 +111,13 @@ type Result struct {
 	// DedupStats snapshots the deduplicating backend's storage accounting
 	// at the end of a dedup-storage run (nil otherwise).
 	DedupStats *dedupstore.Stats
+	// Analytics is the live analytics service of a live-mode run (nil
+	// otherwise). Its registry stays queryable in-process after the run's
+	// servers shut down — goldencheck's batch reference reads it.
+	Analytics *analytics.Live
+	// IngestStats snapshots the live service's ingest counters at the end
+	// of a live run (nil otherwise).
+	IngestStats *analytics.IngestStats
 }
 
 // Env builds the study's shared run environment.
@@ -200,6 +213,11 @@ func (s *Study) run(ctx context.Context, stages []engine.Stage[*State]) (*Result
 	if st.DedupStore != nil {
 		stats := st.DedupStore.Stats()
 		res.DedupStats = &stats
+	}
+	if st.Analytics != nil {
+		res.Analytics = st.Analytics
+		stats := st.Analytics.Stats()
+		res.IngestStats = &stats
 	}
 	return res, nil
 }

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/analytics"
+	"repro/internal/analyzer"
+	"repro/internal/blobstore"
+	"repro/internal/digest"
+	"repro/internal/engine"
+	"repro/internal/manifest"
+	"repro/internal/registry"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// Live mode: the study's registry runs as a resident service with the
+// always-on analytics hook on its write path. Instead of materializing
+// into the store and analyzing afterwards, every image is pushed over
+// HTTP — the ingest tee walks layer bytes as they cross the wire — and
+// the figures come from the incrementally maintained live index, not a
+// batch pass. An optional churn stage deletes and re-pushes a fraction
+// of the population first, exercising the rollup path the batch study
+// never has.
+
+// RunLive generates the dataset, serves a live registry + analytics
+// stack, pushes the population over the wire, and reports from the live
+// index.
+func (s *Study) RunLive() (*Result, error) {
+	return s.RunLiveContext(context.Background())
+}
+
+// RunLiveContext is RunLive with cancellation.
+func (s *Study) RunLiveContext(ctx context.Context) (*Result, error) {
+	stages := []engine.Stage[*State]{stageGenerate, stageServeLive, stageLivePush}
+	if s.LiveChurn > 0 {
+		stages = append(stages, newLiveChurnStage(s.LiveChurn))
+	}
+	stages = append(stages, stageLiveReport, stageReport)
+	return s.run(ctx, stages)
+}
+
+// stageServeLive mounts an empty registry with the analytics service
+// hooked onto its write path, plus the analytics query API, on the serve
+// chassis. Unlike stageServe, there is nothing materialized yet: content
+// arrives over the wire in the push stage.
+var stageServeLive = engine.NewStage("serve-live", func(ctx context.Context, st *State) error {
+	st.Registry = registry.New(blobstore.NewMemory())
+	st.Analytics = analytics.New(st.Registry.Blobs(), synth.Repositories(st.Dataset))
+	st.Registry.SetIngest(st.Analytics)
+
+	st.Servers = &serve.Group{}
+	reg := &serve.Server{
+		Name:         "registry",
+		Handler:      st.Registry,
+		MaxInFlight:  st.Env.MaxInFlight,
+		DrainTimeout: st.Env.DrainTimeout,
+	}
+	if err := st.Servers.Start(reg); err != nil {
+		return err
+	}
+	api := &serve.Server{
+		Name:         "analytics",
+		Handler:      st.Analytics.Handler(),
+		MaxInFlight:  st.Env.MaxInFlight,
+		DrainTimeout: st.Env.DrainTimeout,
+	}
+	if err := st.Servers.Start(api); err != nil {
+		return err
+	}
+	st.RegistryURL = reg.URL()
+	st.AnalyticsURL = api.URL()
+	st.HTTP = reg.Client()
+	return nil
+})
+
+// liveClient is the push client for the live stages. The token
+// authorizes writes to private repositories; the live study pushes the
+// whole population, not just the publicly pullable part.
+func (st *State) liveClient() *registry.Client {
+	return &registry.Client{Base: st.RegistryURL, HTTP: st.HTTP, Token: "live-study"}
+}
+
+// stageLivePush drives the dataset through the wire write path: every
+// unique layer is uploaded once (the ingest tee analyzes its bytes in
+// flight), then every downloadable repo's config and manifest. Blobs
+// must all be stored before any manifest referencing them is PUT, so the
+// two phases are separated by a barrier; within a phase the uploads fan
+// out across the run's workers. Concurrent arrival order does not matter:
+// the live index's figures are order-independent by construction.
+var stageLivePush = engine.NewStage("live-push", func(ctx context.Context, st *State) error {
+	d := st.Dataset
+	client := st.liveClient()
+
+	// Repositories are an administrative registration, not a wire write.
+	type repoPush struct {
+		name  string
+		imgID synth.ImageID
+	}
+	var repos []repoPush
+	for ri := range d.Repos {
+		r := &d.Repos[ri]
+		st.Registry.CreateRepo(r.Name, r.Private)
+		if r.Downloadable() {
+			repos = append(repos, repoPush{r.Name, synth.ImageID(r.Image)})
+		}
+	}
+
+	// Phase 1: unique layers, each under the first repo referencing it.
+	type layerPush struct {
+		id   synth.LayerID
+		repo string
+	}
+	var layers []layerPush
+	owner := make(map[synth.LayerID]bool, len(d.Layers))
+	for _, rp := range repos {
+		for _, l := range d.ImageLayers(rp.imgID) {
+			if !owner[l] {
+				owner[l] = true
+				layers = append(layers, layerPush{l, rp.name})
+			}
+		}
+	}
+	err := runParallel(ctx, st.Env.WorkerCount(), len(layers), func(ctx context.Context, i int) error {
+		lp := layers[i]
+		blob, err := synth.RenderLayer(d, lp.id)
+		if err != nil {
+			return fmt.Errorf("rendering layer %d: %w", lp.id, err)
+		}
+		if _, err := client.PushBlobContext(ctx, lp.repo, blob); err != nil {
+			return fmt.Errorf("pushing layer %d: %w", lp.id, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: configs and manifests.
+	return runParallel(ctx, st.Env.WorkerCount(), len(repos), func(ctx context.Context, i int) error {
+		rp := repos[i]
+		if _, err := pushLiveImage(ctx, client, d, rp.name, rp.imgID); err != nil {
+			return fmt.Errorf("pushing %s: %w", rp.name, err)
+		}
+		return nil
+	})
+})
+
+// pushLiveImage uploads one image's config and manifest over the wire
+// (its layers are already stored), using the same config recipe as
+// synth.Materialize so a live registry is content-identical to a
+// materialized one.
+func pushLiveImage(ctx context.Context, client *registry.Client, d *synth.Dataset, repo string, imgID synth.ImageID) (*manifest.Manifest, error) {
+	cfg, err := json.Marshal(manifest.Config{
+		Architecture: "amd64",
+		OS:           "linux",
+		Created:      fmt.Sprintf("2017-05-%02dT00:00:00Z", 1+int(imgID)%30),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfgDg, err := client.PushBlobContext(ctx, repo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	layers := d.ImageLayers(imgID)
+	descs := make([]manifest.Descriptor, len(layers))
+	for j, l := range layers {
+		blob, err := synth.RenderLayer(d, l)
+		if err != nil {
+			return nil, err
+		}
+		descs[j] = manifest.Descriptor{
+			MediaType: manifest.MediaTypeLayer,
+			Size:      int64(len(blob)),
+			Digest:    digest.FromBytes(blob),
+		}
+	}
+	m, err := manifest.New(manifest.Descriptor{
+		MediaType: manifest.MediaTypeConfig,
+		Size:      int64(len(cfg)),
+		Digest:    cfgDg,
+	}, descs)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := client.PushManifestContext(ctx, repo, "latest", m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// newLiveChurnStage deletes and re-pushes a deterministic random
+// fraction of the tagged population over the wire: every churned repo's
+// latest tag is DELETEd (the live index rolls the image back out) and
+// its manifest re-PUT (the index re-admits it from the still-stored
+// walks). A correct rollup leaves the final figures identical to a
+// churn-free run.
+func newLiveChurnStage(frac float64) engine.Stage[*State] {
+	return engine.NewStage("churn", func(ctx context.Context, st *State) error {
+		client := st.liveClient()
+		var names []string
+		for ri := range st.Dataset.Repos {
+			r := &st.Dataset.Repos[ri]
+			if r.Downloadable() {
+				names = append(names, r.Name)
+			}
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		k := int(frac*float64(len(names)) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > len(names) {
+			k = len(names)
+		}
+		perm := st.Env.RNG(1109).Perm(len(names))
+		for _, pi := range perm[:k] {
+			name := names[pi]
+			m, err := registryManifest(st.Registry, name, "latest")
+			if err != nil {
+				return fmt.Errorf("churning %s: %w", name, err)
+			}
+			if err := client.DeleteManifestContext(ctx, name, "latest"); err != nil {
+				return fmt.Errorf("churn delete %s: %w", name, err)
+			}
+			if _, err := client.PushManifestContext(ctx, name, "latest", m); err != nil {
+				return fmt.Errorf("churn re-push %s: %w", name, err)
+			}
+		}
+		return nil
+	})
+}
+
+// stageLiveReport renders the analysis from the live index's current
+// snapshot — no batch pass over the store. stageReport then assembles
+// the same figure source a model run uses (no crawl/download stats: the
+// study never pulled anything).
+var stageLiveReport = engine.NewStage("live-report", func(ctx context.Context, st *State) error {
+	res, err := st.Analytics.Snapshot().Result()
+	if err != nil {
+		return fmt.Errorf("rendering live analysis: %w", err)
+	}
+	st.Analysis = res
+	return nil
+})
+
+// LiveBatchFigures renders the reference figures for a live run the slow
+// way: enumerate the registry's surviving images, batch-analyze their
+// stored bytes, and render. A correct live index makes this
+// bit-identical to the run's own Figures — goldencheck -live asserts
+// exactly that.
+func LiveBatchFigures(res *Result, workers int) ([]report.Figure, error) {
+	images, err := analytics.RegistryImages(res.Registry)
+	if err != nil {
+		return nil, err
+	}
+	ana, err := analyzer.AnalyzeStore(res.Registry.Blobs(), images, workers)
+	if err != nil {
+		return nil, err
+	}
+	return report.All(&report.Source{
+		Analysis: ana,
+		Repos:    synth.Repositories(res.Dataset),
+	}), nil
+}
+
+// registryManifest loads and parses a tagged manifest from the
+// registry's store.
+func registryManifest(reg *registry.Registry, name, tag string) (*manifest.Manifest, error) {
+	dg, err := reg.ResolveTag(name, tag)
+	if err != nil {
+		return nil, err
+	}
+	rc, _, err := reg.Blobs().Get(dg)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	return manifest.Unmarshal(raw)
+}
+
+// runParallel fans fn over n indices across the given workers, stopping
+// at the first error (remaining work is cancelled, in-flight calls get a
+// cancelled context).
+func runParallel(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

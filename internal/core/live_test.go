@@ -1,0 +1,110 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"repro/internal/report"
+	"repro/internal/synth"
+)
+
+func figFingerprint(figs []report.Figure) string {
+	h := sha256.New()
+	for i := range figs {
+		fmt.Fprint(h, figs[i].String())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestRunLiveMatchesBatch: a live run's figures — rendered from the
+// incrementally maintained index, never a batch pass — must be
+// bit-identical to batch-analyzing the registry the run left behind.
+func TestRunLiveMatchesBatch(t *testing.T) {
+	st := &Study{Spec: synth.MaterializeSpec(0.0002), Workers: 4}
+	res, err := st.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analytics == nil || res.IngestStats == nil {
+		t.Fatal("live run missing analytics service/stats")
+	}
+	if res.IngestStats.BlobsWalked == 0 {
+		t.Fatal("no blobs walked on the wire")
+	}
+	if res.IngestStats.FallbackWalks != 0 || res.IngestStats.SkippedLayers != 0 {
+		t.Fatalf("degraded ingest: %+v", res.IngestStats)
+	}
+	live := figFingerprint(res.Figures)
+	batch, err := LiveBatchFigures(res, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := figFingerprint(batch); got != live {
+		t.Fatalf("live run != batch reference:\n live %s\nbatch %s", live, got)
+	}
+}
+
+// TestRunLiveChurnInvariant: deleting and re-pushing part of the
+// population mid-run must leave the final figures identical to a
+// churn-free run — the rollup path is exact, not approximate.
+func TestRunLiveChurnInvariant(t *testing.T) {
+	plain := &Study{Spec: synth.MaterializeSpec(0.0002), Workers: 4}
+	base, err := plain.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned := &Study{Spec: synth.MaterializeSpec(0.0002), Workers: 4, LiveChurn: 0.3}
+	got, err := churned.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IngestStats.TagDeletes == 0 {
+		t.Fatal("churn stage deleted nothing")
+	}
+	if figFingerprint(got.Figures) != figFingerprint(base.Figures) {
+		t.Fatal("churned run's figures differ from churn-free run")
+	}
+	batch, err := LiveBatchFigures(got, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figFingerprint(batch) != figFingerprint(got.Figures) {
+		t.Fatal("churned live run != batch reference")
+	}
+}
+
+// TestRunLiveStageGraph: the live graph runs the expected stages and the
+// live figure set matches model mode's shape minus growth (no batch
+// pass, no crawl/download → no tabM, no fig25).
+func TestRunLiveStageGraph(t *testing.T) {
+	st := &Study{Spec: synth.MaterializeSpec(0.0001), Workers: 2, LiveChurn: 0.5}
+	res, err := st.RunLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, sr := range res.Stages {
+		names = append(names, sr.Name)
+	}
+	want := []string{"generate", "serve-live", "live-push", "churn", "live-report", "report"}
+	if len(names) != len(want) {
+		t.Fatalf("stages %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("stages %v, want %v", names, want)
+		}
+	}
+	ids := map[string]bool{}
+	for _, f := range res.Figures {
+		ids[f.ID] = true
+	}
+	if ids["tabM"] || ids["fig25"] {
+		t.Fatal("live run rendered figures that need crawl/download/growth inputs")
+	}
+	if !ids["fig24"] || !ids["fig3"] {
+		t.Fatal("live run missing core figures")
+	}
+}

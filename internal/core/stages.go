@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/analytics"
 	"repro/internal/analyzer"
 	"repro/internal/blobstore"
 	"repro/internal/cache"
@@ -56,6 +57,10 @@ type State struct {
 	// DedupStore is the deduplicating backend under the registry when the
 	// study materializes into one (stage materialize with dedup storage).
 	DedupStore *dedupstore.Store
+	// Analytics is the live analytics service hooked onto the registry's
+	// write path, and AnalyticsURL its query API (stage serve-live).
+	Analytics    *analytics.Live
+	AnalyticsURL string
 
 	// Outputs.
 	Crawl    *crawler.Result

@@ -76,6 +76,22 @@ type FileObs struct {
 	Type filetype.Type
 }
 
+// sortObsByKey orders one layer's observations by key: the shared
+// pre-pass of ObserveLayer and RemoveLayer, so each lock stripe is
+// visited once and duplicate keys within the layer collapse into a
+// single record update.
+func sortObsByKey(obs []FileObs) {
+	slices.SortFunc(obs, func(a, b FileObs) int {
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+		return 0
+	})
+}
+
 // Index is the global file census.
 type Index struct {
 	shards [shardCount]shard
@@ -85,7 +101,7 @@ type Index struct {
 	curRefs  int32
 	inLayer  bool
 
-	frozen     atomic.Bool
+	sealed     atomic.Bool
 	layerCount atomic.Int32 // next sequential layer / high-water mark + 1
 	instances  atomic.Int64
 	instBytes  atomic.Int64
@@ -109,14 +125,23 @@ func NewIndexSized(uniqueHint int) *Index {
 // Errors for misuse of the feeding protocols.
 var (
 	ErrNotInLayer = errors.New("dedup: Observe outside BeginLayer/EndLayer")
-	ErrFrozen     = errors.New("dedup: index already frozen")
+	// ErrSealed reports feeding into a census whose lifecycle has ended:
+	// Seal (or its legacy spelling Freeze) declared the census complete, so
+	// further Observe/ObserveLayer/RemoveLayer calls are a protocol bug in
+	// the caller. Incremental maintenance belongs on an unsealed index —
+	// the live-analytics path never seals; the batch path seals exactly
+	// once after its single feeding pass.
+	ErrSealed = errors.New("dedup: census is sealed (Seal/Freeze already declared feeding complete; use an unsealed index for incremental updates)")
+	// ErrFrozen is the historical name for ErrSealed, kept so existing
+	// errors.Is checks on the batch path keep matching.
+	ErrFrozen = ErrSealed
 )
 
 // BeginLayer starts feeding one layer's instances. refs is the number of
 // images referencing the layer (used for cross-image duplicate detection).
 func (x *Index) BeginLayer(refs int32) error {
-	if x.frozen.Load() {
-		return ErrFrozen
+	if x.sealed.Load() {
+		return ErrSealed
 	}
 	if x.inLayer {
 		return errors.New("dedup: BeginLayer while a layer is open")
@@ -169,8 +194,8 @@ func (x *Index) EndLayer() error {
 // layer collapse into a single record update, exactly matching the
 // sequential protocol's distinct-layer accounting.
 func (x *Index) ObserveLayer(layer, refs int32, obs []FileObs) error {
-	if x.frozen.Load() {
-		return ErrFrozen
+	if x.sealed.Load() {
+		return ErrSealed
 	}
 	if layer < 0 {
 		return fmt.Errorf("dedup: ObserveLayer with negative layer %d", layer)
@@ -186,15 +211,7 @@ func (x *Index) ObserveLayer(layer, refs int32, obs []FileObs) error {
 	if len(obs) == 0 {
 		return nil
 	}
-	slices.SortFunc(obs, func(a, b FileObs) int {
-		switch {
-		case a.Key < b.Key:
-			return -1
-		case a.Key > b.Key:
-			return 1
-		}
-		return 0
-	})
+	sortObsByKey(obs)
 	var inst, bytes int64
 	i := 0
 	for i < len(obs) {
@@ -230,14 +247,22 @@ func (x *Index) ObserveLayer(layer, refs int32, obs []FileObs) error {
 	return nil
 }
 
-// Freeze finalizes the census; no further layers may be added.
-func (x *Index) Freeze() error {
+// Seal declares feeding complete; no further layers may be added or
+// removed. Sealing is optional: reads only require that feeding has
+// quiesced, and the live-analytics path keeps its index unsealed forever,
+// relying on Clone for consistent read snapshots. The batch path seals to
+// turn any late feeding bug into an explicit ErrSealed.
+func (x *Index) Seal() error {
 	if x.inLayer {
-		return errors.New("dedup: Freeze with a layer open")
+		return errors.New("dedup: Seal with a layer open")
 	}
-	x.frozen.Store(true)
+	x.sealed.Store(true)
 	return nil
 }
+
+// Freeze is the historical spelling of Seal, kept for the batch pipeline
+// and its tests.
+func (x *Index) Freeze() error { return x.Seal() }
 
 // forEach visits every census record. It takes no locks: callers must be
 // past Freeze or otherwise quiescent.
@@ -307,11 +332,16 @@ func (x *Index) Ratios() Ratios {
 func (x *Index) RepeatCDF() (cdf *stats.CDF, maxRepeat int64, maxIsEmpty bool) {
 	cdf = &stats.CDF{}
 	var maxRec fileRec
+	var maxKey uint64
 	found := false
-	x.forEach(func(_ uint64, rec *fileRec) {
+	x.forEach(func(k uint64, rec *fileRec) {
 		cdf.AddInt(rec.instances)
-		if !found || rec.instances > maxRec.instances {
+		// Ties broken by smallest key so the answer is independent of map
+		// iteration order — equal censuses must render equal figures.
+		if !found || rec.instances > maxRec.instances ||
+			(rec.instances == maxRec.instances && k < maxKey) {
 			maxRec = *rec
+			maxKey = k
 			found = true
 		}
 	})

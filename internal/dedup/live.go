@@ -1,0 +1,129 @@
+package dedup
+
+import "fmt"
+
+// This file is the live (incremental) surface of the census. The batch
+// pipeline feeds an Index once and seals it; the always-on analytics
+// service instead keeps one unsealed Index mutating for the lifetime of
+// the registry, rolling layers in on push (ObserveLayer) and back out on
+// delete (RemoveLayer), and taking copy-on-read snapshots (Clone) for
+// consistent figure renders.
+//
+// Every figure-facing aggregate the Index serves — instances, distinct
+// layer counts, sizes, types, and the derived Ratios/RepeatCDF/ByGroup/
+// TypeUsage views — is maintained by commutative, invertible updates, so
+// a census built incrementally through any sequence of adds and removes
+// equals one built by a single batch pass over the surviving layers.
+// Two fields are excluded from that guarantee: lastLayer and maxRefs are
+// high-water marks with no inverse. They are only read by CrossDup,
+// which live snapshots replace with CrossDupLive (the caller supplies
+// the current reference count, which it knows exactly).
+
+// RemoveLayer rolls one previously ingested layer's contribution back
+// out of the census: the exact inverse of ObserveLayer over the same
+// observations. obs is re-ordered in place (sorted by key), mirroring
+// ObserveLayer. Calls for distinct layers are safe to run concurrently
+// with each other and with ObserveLayer calls for other layers.
+//
+// Removing a layer that was never observed (or removing one twice)
+// corrupts the census; such underflows are detected and reported, and
+// the record is dropped to keep totals consistent.
+func (x *Index) RemoveLayer(obs []FileObs) error {
+	if x.sealed.Load() {
+		return ErrSealed
+	}
+	if len(obs) == 0 {
+		return nil
+	}
+	sortObsByKey(obs)
+	var inst, bytes int64
+	var firstErr error
+	i := 0
+	for i < len(obs) {
+		si := obs[i].Key >> shardShift
+		s := &x.shards[si]
+		s.mu.Lock()
+		for i < len(obs) && obs[i].Key>>shardShift == si {
+			key := obs[i].Key
+			j := i + 1
+			for j < len(obs) && obs[j].Key == key {
+				j++
+			}
+			n := int64(j - i)
+			rec, ok := s.files[key]
+			if !ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dedup: RemoveLayer of unobserved file key %#x", key)
+				}
+				i = j
+				continue
+			}
+			rec.instances -= n
+			rec.layerCount--
+			inst += n
+			bytes += rec.size * n
+			if rec.instances < 0 || rec.layerCount < 0 {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dedup: RemoveLayer underflow for file key %#x (instances=%d layers=%d)",
+						key, rec.instances, rec.layerCount)
+				}
+				inst += rec.instances // clamp totals to the dropped record
+				bytes += rec.size * rec.instances
+				rec.instances = 0
+			}
+			if rec.instances == 0 {
+				delete(s.files, key)
+			} else {
+				s.files[key] = rec
+			}
+			i = j
+		}
+		s.mu.Unlock()
+	}
+	x.instances.Add(-inst)
+	x.instBytes.Add(-bytes)
+	return firstErr
+}
+
+// Clone returns a deep copy of the census: an independent Index whose
+// records and totals equal the receiver's at the time of the call. The
+// caller must ensure no feeding calls are in flight (the live-analytics
+// service clones under the same lock that serializes its feeding), after
+// which the clone is immutable-by-convention and safe for any number of
+// concurrent readers. Sequential-protocol cursor state is not carried
+// over; clones are for reading, not resumed feeding.
+func (x *Index) Clone() *Index {
+	c := &Index{curLayer: -1}
+	for i := range x.shards {
+		src := x.shards[i].files
+		m := make(map[uint64]fileRec, len(src))
+		for k, v := range src {
+			m[k] = v
+		}
+		c.shards[i].files = m
+	}
+	c.sealed.Store(x.sealed.Load())
+	c.layerCount.Store(x.layerCount.Load())
+	c.instances.Store(x.instances.Load())
+	c.instBytes.Store(x.instBytes.Load())
+	return c
+}
+
+// CrossDupLive is CrossDup for incrementally maintained censuses, where
+// the maxRefs high-water mark may be stale (it cannot be decremented when
+// an image is deleted). The caller supplies layerRefs, the current
+// image-reference count of the layer under which it encountered the key.
+// When the content lives in one layer only, that layer is necessarily the
+// caller's layer, so "shared by ≥ 2 images" is exactly layerRefs ≥ 2;
+// when it lives in ≥ 2 layers it is cross-image by the same approximation
+// CrossDup uses. A batch census fed once and queried the same way yields
+// bit-identical answers to CrossDup.
+func (x *Index) CrossDupLive(key uint64, layerRefs int32) (crossLayer, crossImage bool, err error) {
+	rec, ok := x.shards[key>>shardShift].files[key]
+	if !ok {
+		return false, false, fmt.Errorf("dedup: unknown file key %#x", key)
+	}
+	crossLayer = rec.layerCount >= 2
+	crossImage = crossLayer || layerRefs >= 2
+	return crossLayer, crossImage, nil
+}

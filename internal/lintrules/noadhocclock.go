@@ -15,6 +15,7 @@ var deterministicPkgs = []string{
 	"internal/engine",
 	"internal/pipeline",
 	"internal/analyzer",
+	"internal/analytics",
 	"internal/synth",
 	"internal/cluster",
 	"internal/dedupstore",

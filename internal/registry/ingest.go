@@ -1,0 +1,87 @@
+package registry
+
+import (
+	"io"
+
+	"repro/internal/digest"
+	"repro/internal/manifest"
+)
+
+// Ingest observes the registry's write path, the hook the always-on
+// analytics service hangs off. It is deliberately expressed in terms of
+// raw streams and manifests — not analyzer types — so the registry stays
+// a leaf the analysis stack can depend on.
+//
+// The contract mirrors the fused pipeline's tee discipline:
+//
+//   - BlobStream receives a tee of a monolithic blob upload while the
+//     bytes cross the wire (no second read of the blob). The
+//     implementation MUST consume r to completion or the upload stalls:
+//     the pipe has no buffer. The stream fails with a non-EOF error
+//     before its end iff the upload was rejected (digest mismatch,
+//     truncated body), so a cleanly terminated stream carries exactly the
+//     verified stored bytes.
+//   - ManifestTagged fires after a tag points at a stored manifest. m is
+//     the parsed document when the write path had it in hand (HTTP PUT,
+//     PushManifest) and nil for administrative tag moves (SetTag), in
+//     which case the implementation may load it from the store.
+//   - TagDeleted fires after a tag is removed, once per (tag, digest)
+//     pair that pointed at the deleted manifest.
+//
+// Calls may arrive concurrently from any number of request goroutines;
+// the implementation serializes internally.
+type Ingest interface {
+	BlobStream(d digest.Digest, r io.Reader)
+	ManifestTagged(repo, tag string, d digest.Digest, m *manifest.Manifest)
+	TagDeleted(repo, tag string, d digest.Digest)
+}
+
+// ingestHolder wraps the hook so a nil-valued interface still stores into
+// atomic.Value (which requires consistent concrete types).
+type ingestHolder struct{ h Ingest }
+
+// SetIngest installs the write-path observer. Install it before serving
+// traffic: blobs pushed earlier are not replayed (the analytics service
+// backfills unseen layers from the store on demand instead).
+func (r *Registry) SetIngest(h Ingest) { r.ingest.Store(ingestHolder{h}) }
+
+// ingestHook returns the installed observer, or nil.
+func (r *Registry) ingestHook() Ingest {
+	if v := r.ingest.Load(); v != nil {
+		return v.(ingestHolder).h
+	}
+	return nil
+}
+
+// teeToIngest splices the hook into an upload stream: the returned reader
+// feeds the store while a copy flows to hook.BlobStream on its own
+// goroutine. finish must be called exactly once with the store's verdict;
+// it propagates success (EOF) or failure into the hook's stream and waits
+// for the hook to finish consuming, so the handler never responds while
+// analysis of the bytes is still in flight.
+func teeToIngest(hook Ingest, d digest.Digest, src io.Reader) (io.Reader, func(error)) {
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		hook.BlobStream(d, pr)
+		// Defensive: if the hook returned early, unblock the writer side.
+		pr.CloseWithError(io.ErrClosedPipe)
+	}()
+	finish := func(err error) {
+		if err != nil {
+			pw.CloseWithError(err)
+		} else {
+			pw.Close()
+		}
+		<-done
+	}
+	return io.TeeReader(src, pw), finish
+}
+
+// notifyManifestTagged fans a tagging event to the hook, if any.
+func (r *Registry) notifyManifestTagged(repo, tag string, d digest.Digest, m *manifest.Manifest) {
+	if hook := r.ingestHook(); hook != nil {
+		hook.ManifestTagged(repo, tag, d, m)
+	}
+}

@@ -1,0 +1,260 @@
+package registry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/digest"
+	"repro/internal/manifest"
+)
+
+// recordingIngest captures every hook event for assertions.
+type recordingIngest struct {
+	mu      sync.Mutex
+	blobs   map[digest.Digest]string // digest -> hex sha256 of the streamed bytes
+	errs    map[digest.Digest]error  // digest -> stream error (nil = clean EOF)
+	tagged  []string                 // "repo:tag@digest[,nil-manifest]"
+	deleted []string                 // "repo:tag@digest"
+}
+
+func newRecordingIngest() *recordingIngest {
+	return &recordingIngest{
+		blobs: make(map[digest.Digest]string),
+		errs:  make(map[digest.Digest]error),
+	}
+}
+
+func (ri *recordingIngest) BlobStream(d digest.Digest, r io.Reader) {
+	h := sha256.New()
+	_, err := io.Copy(h, r)
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	if err != nil {
+		ri.errs[d] = err
+		return
+	}
+	ri.errs[d] = nil
+	ri.blobs[d] = hex.EncodeToString(h.Sum(nil))
+}
+
+func (ri *recordingIngest) ManifestTagged(repo, tag string, d digest.Digest, m *manifest.Manifest) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	ev := repo + ":" + tag + "@" + d.String()
+	if m == nil {
+		ev += ",nil-manifest"
+	}
+	ri.tagged = append(ri.tagged, ev)
+}
+
+func (ri *recordingIngest) TagDeleted(repo, tag string, d digest.Digest) {
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	ri.deleted = append(ri.deleted, repo+":"+tag+"@"+d.String())
+}
+
+func ingestTestSetup(t *testing.T) (*Registry, *Client, *recordingIngest) {
+	t.Helper()
+	reg, c, _ := pushTestSetup(t)
+	ri := newRecordingIngest()
+	reg.SetIngest(ri)
+	return reg, c, ri
+}
+
+// TestIngestTeeSeesExactBytes: the hook's stream carries exactly the
+// verified uploaded bytes, ending in a clean EOF.
+func TestIngestTeeSeesExactBytes(t *testing.T) {
+	_, c, ri := ingestTestSetup(t)
+	blob := []byte("the exact bytes crossing the wire")
+	d, err := c.PushBlob("alice/app", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	if serr, ok := ri.errs[d]; !ok || serr != nil {
+		t.Fatalf("hook stream for %s: present=%v err=%v", d.Short(), ok, serr)
+	}
+	sum := sha256.Sum256(blob)
+	if ri.blobs[d] != hex.EncodeToString(sum[:]) {
+		t.Fatal("hook saw different bytes than were uploaded")
+	}
+}
+
+// TestIngestTeeRejectedUpload: a digest-mismatched upload errors the
+// hook's stream before clean EOF; the store keeps nothing and the hook
+// must not treat the bytes as verified.
+func TestIngestTeeRejectedUpload(t *testing.T) {
+	reg, c, ri := ingestTestSetup(t)
+	wrong := digest.FromString("not the content")
+	u := c.Base + "/v2/alice/app/blobs/uploads/?digest=" + wrong.String()
+	resp, err := http.Post(u, "application/octet-stream", strings.NewReader("actual content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched digest upload status %d, want 400", resp.StatusCode)
+	}
+	if _, _, err := reg.Blobs().Get(wrong); err == nil {
+		t.Fatal("rejected blob landed in the store")
+	}
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	if _, ok := ri.blobs[wrong]; ok {
+		t.Fatal("hook recorded a rejected upload as verified")
+	}
+	if serr := ri.errs[wrong]; serr == nil {
+		t.Fatal("hook stream for rejected upload ended in clean EOF, want error")
+	}
+}
+
+// TestIngestManifestNotifications: HTTP PUT and direct PushManifest carry
+// the parsed manifest; administrative SetTag notifies with nil.
+func TestIngestManifestNotifications(t *testing.T) {
+	reg, c, ri := ingestTestSetup(t)
+	_, m := pushImage(t, c, "alice/app", "latest")
+	d, _ := m.Digest()
+
+	if err := reg.SetTag("alice/app", "stable", d); err != nil {
+		t.Fatal(err)
+	}
+	ri.mu.Lock()
+	tagged := append([]string(nil), ri.tagged...)
+	ri.mu.Unlock()
+	want := []string{
+		"alice/app:latest@" + d.String(),
+		"alice/app:stable@" + d.String() + ",nil-manifest",
+	}
+	if len(tagged) != len(want) || tagged[0] != want[0] || tagged[1] != want[1] {
+		t.Fatalf("tagged events %q, want %q", tagged, want)
+	}
+}
+
+// TestDeleteManifestByTag: DELETE by tag untags exactly that tag, fires
+// the hook, bumps the stat, and leaves other tags alone.
+func TestDeleteManifestByTag(t *testing.T) {
+	reg, c, ri := ingestTestSetup(t)
+	_, m := pushImage(t, c, "alice/app", "latest")
+	d, _ := m.Digest()
+	if err := reg.SetTag("alice/app", "stable", d); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.DeleteManifest("alice/app", "latest"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Manifest("alice/app", "latest"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted tag still resolves: %v", err)
+	}
+	if _, _, err := c.Manifest("alice/app", "stable"); err != nil {
+		t.Fatalf("sibling tag lost: %v", err)
+	}
+	ri.mu.Lock()
+	deleted := append([]string(nil), ri.deleted...)
+	ri.mu.Unlock()
+	if len(deleted) != 1 || deleted[0] != "alice/app:latest@"+d.String() {
+		t.Fatalf("deleted events %q", deleted)
+	}
+	if st := reg.Stats(); st.TagDeletes != 1 {
+		t.Fatalf("TagDeletes = %d, want 1", st.TagDeletes)
+	}
+}
+
+// TestDeleteManifestByDigest: DELETE by digest untags every tag pointing
+// at it, with hook events in deterministic (tag-sorted) order.
+func TestDeleteManifestByDigest(t *testing.T) {
+	reg, c, ri := ingestTestSetup(t)
+	_, m := pushImage(t, c, "alice/app", "latest")
+	d, _ := m.Digest()
+	if err := reg.SetTag("alice/app", "stable", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.SetTag("alice/app", "v1", d); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.DeleteManifest("alice/app", d.String()); err != nil {
+		t.Fatal(err)
+	}
+	tags, err := reg.Tags("alice/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 0 {
+		t.Fatalf("tags survived digest delete: %v", tags)
+	}
+	ri.mu.Lock()
+	deleted := append([]string(nil), ri.deleted...)
+	ri.mu.Unlock()
+	want := []string{
+		"alice/app:latest@" + d.String(),
+		"alice/app:stable@" + d.String(),
+		"alice/app:v1@" + d.String(),
+	}
+	if len(deleted) != 3 || deleted[0] != want[0] || deleted[1] != want[1] || deleted[2] != want[2] {
+		t.Fatalf("deleted events %q, want %q", deleted, want)
+	}
+	if st := reg.Stats(); st.TagDeletes != 3 {
+		t.Fatalf("TagDeletes = %d, want 3", st.TagDeletes)
+	}
+}
+
+// TestDeleteManifestMissing: unknown tag or unreferenced digest is 404
+// with the standard error envelope; no hook events fire.
+func TestDeleteManifestMissing(t *testing.T) {
+	reg, c, ri := ingestTestSetup(t)
+	pushImage(t, c, "alice/app", "latest")
+
+	if err := c.DeleteManifest("alice/app", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete unknown tag = %v, want ErrNotFound", err)
+	}
+	if err := c.DeleteManifest("alice/app", digest.FromString("ghost").String()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete unknown digest = %v, want ErrNotFound", err)
+	}
+	ri.mu.Lock()
+	n := len(ri.deleted)
+	ri.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("hook fired for missing manifests: %d events", n)
+	}
+	if st := reg.Stats(); st.TagDeletes != 0 {
+		t.Fatalf("TagDeletes = %d, want 0", st.TagDeletes)
+	}
+}
+
+// TestDeleteManifestAuth: private repos require auth for DELETE like any
+// other write.
+func TestDeleteManifestAuth(t *testing.T) {
+	reg, anon, ri := ingestTestSetup(t)
+	_ = ri
+	authed := &Client{Base: anon.Base, Token: "tok"}
+	pushImage(t, authed, "bob/secret", "latest")
+	_ = reg
+
+	if err := anon.DeleteManifest("bob/secret", "latest"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("anonymous delete = %v, want ErrUnauthorized", err)
+	}
+	if err := authed.DeleteManifest("bob/secret", "latest"); err != nil {
+		t.Fatalf("authorized delete: %v", err)
+	}
+}
+
+// TestIngestNilHookIsFreePath: with no hook installed, pushes and deletes
+// behave identically (guard against nil-deref on the hot path).
+func TestIngestNilHookIsFreePath(t *testing.T) {
+	_, c, _ := pushTestSetup(t)
+	_, m := pushImage(t, c, "alice/app", "latest")
+	if err := c.DeleteManifest("alice/app", "latest"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushManifest("alice/app", "latest", m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -74,7 +75,19 @@ func (r *Registry) serveBlobUpload(w http.ResponseWriter, req *http.Request, nam
 	// Stream the upload straight into the store: bytes hash on the way to
 	// disk and no full-blob buffer materializes server-side. Oversized
 	// bodies are truncated by the limit and then rejected by the digest.
-	if _, err := r.blobs.PutStream(want, io.LimitReader(req.Body, maxBlobSize)); err != nil {
+	// With an ingest hook installed the same bytes tee into the analytics
+	// walker as they cross the wire (the fused-pipeline discipline: no
+	// second read); the store's verdict closes the tee, so the hook sees a
+	// clean end-of-stream only for verified uploads, and the response
+	// waits for the walk so a client push is durable-and-analyzed.
+	src := io.Reader(io.LimitReader(req.Body, maxBlobSize))
+	finish := func(error) {}
+	if hook := r.ingestHook(); hook != nil {
+		src, finish = teeToIngest(hook, want, src)
+	}
+	_, err = r.blobs.PutStream(want, src)
+	finish(err)
+	if err != nil {
 		if errors.Is(err, blobstore.ErrDigestMismatch) {
 			WriteError(w, http.StatusBadRequest, "DIGEST_INVALID", "content does not match digest")
 		} else {
@@ -124,6 +137,7 @@ func (r *Registry) serveManifestPut(w http.ResponseWriter, req *http.Request, na
 	r.repos[name].tags[tag] = d
 	r.mu.Unlock()
 	r.manifestPushes.Add(1)
+	r.notifyManifestTagged(name, tag, d, m)
 	w.Header().Set("Docker-Content-Digest", d.String())
 	w.WriteHeader(http.StatusCreated)
 }
@@ -182,9 +196,14 @@ func (r *Registry) GC() (removed int, freed int64, err error) {
 
 // PushBlob uploads a blob via the wire API (client side).
 func (c *Client) PushBlob(name string, content []byte) (digest.Digest, error) {
+	return c.PushBlobContext(context.Background(), name, content)
+}
+
+// PushBlobContext is PushBlob with cancellation.
+func (c *Client) PushBlobContext(ctx context.Context, name string, content []byte) (digest.Digest, error) {
 	d := digest.FromBytes(content)
 	u := fmt.Sprintf("%s/v2/%s/blobs/uploads/?digest=%s", c.Base, name, url.QueryEscape(d.String()))
-	req, err := http.NewRequest(http.MethodPost, u, strings.NewReader(string(content)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(string(content)))
 	if err != nil {
 		return "", fmt.Errorf("registry client: building upload: %w", err)
 	}
@@ -210,12 +229,17 @@ func (c *Client) PushBlob(name string, content []byte) (digest.Digest, error) {
 
 // PushManifest uploads and tags a manifest via the wire API (client side).
 func (c *Client) PushManifest(name, tag string, m *manifest.Manifest) (digest.Digest, error) {
+	return c.PushManifestContext(context.Background(), name, tag, m)
+}
+
+// PushManifestContext is PushManifest with cancellation.
+func (c *Client) PushManifestContext(ctx context.Context, name, tag string, m *manifest.Manifest) (digest.Digest, error) {
 	raw, err := m.Marshal()
 	if err != nil {
 		return "", err
 	}
 	u := fmt.Sprintf("%s/v2/%s/manifests/%s", c.Base, name, url.PathEscape(tag))
-	req, err := http.NewRequest(http.MethodPut, u, strings.NewReader(string(raw)))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, strings.NewReader(string(raw)))
 	if err != nil {
 		return "", fmt.Errorf("registry client: building manifest put: %w", err)
 	}
@@ -237,5 +261,38 @@ func (c *Client) PushManifest(name, tag string, m *manifest.Manifest) (digest.Di
 		return "", fmt.Errorf("%w: push %s:%s", ErrNotFound, name, tag)
 	default:
 		return "", fmt.Errorf("registry client: manifest push status %d", resp.StatusCode)
+	}
+}
+
+// DeleteManifest removes a tag (or, given a digest ref, every tag
+// pointing at that manifest) via the wire API (client side).
+func (c *Client) DeleteManifest(name, ref string) error {
+	return c.DeleteManifestContext(context.Background(), name, ref)
+}
+
+// DeleteManifestContext is DeleteManifest with cancellation.
+func (c *Client) DeleteManifestContext(ctx context.Context, name, ref string) error {
+	u := fmt.Sprintf("%s/v2/%s/manifests/%s", c.Base, name, url.PathEscape(ref))
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+	if err != nil {
+		return fmt.Errorf("registry client: building manifest delete: %w", err)
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("registry client: deleting manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		return nil
+	case http.StatusUnauthorized:
+		return fmt.Errorf("%w: delete %s:%s", ErrUnauthorized, name, ref)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: delete %s:%s", ErrNotFound, name, ref)
+	default:
+		return fmt.Errorf("registry client: manifest delete status %d", resp.StatusCode)
 	}
 }

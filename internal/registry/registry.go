@@ -54,6 +54,7 @@ type Stats struct {
 	AuthDenied     int64
 	BlobPushes     int64
 	ManifestPushes int64
+	TagDeletes     int64
 }
 
 // Registry is the in-process registry server. It implements http.Handler.
@@ -63,12 +64,17 @@ type Registry struct {
 	mu    sync.RWMutex
 	repos map[string]*repo
 
+	// ingest holds the optional write-path observer (see SetIngest);
+	// atomic so the hot push path reads it without taking mu.
+	ingest atomic.Value
+
 	manifestGets   atomic.Int64
 	blobGets       atomic.Int64
 	blobBytes      atomic.Int64
 	authDenied     atomic.Int64
 	blobPushes     atomic.Int64
 	manifestPushes atomic.Int64
+	tagDeletes     atomic.Int64
 }
 
 // New creates a Registry backed by the given blob store.
@@ -103,12 +109,14 @@ func (r *Registry) PushManifest(name, tag string, m *manifest.Manifest) (digest.
 		return "", fmt.Errorf("registry: storing manifest: %w", err)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	rp, ok := r.repos[name]
 	if !ok {
+		r.mu.Unlock()
 		return "", fmt.Errorf("%w: %s", ErrRepoNotFound, name)
 	}
 	rp.tags[tag] = d
+	r.mu.Unlock()
+	r.notifyManifestTagged(name, tag, d, m)
 	return d, nil
 }
 
@@ -118,18 +126,22 @@ func (r *Registry) PushBlob(content []byte) (digest.Digest, error) {
 }
 
 // SetTag points a tag at an already-stored manifest blob, used when
-// restoring registry state from disk.
+// restoring registry state from disk. The ingest hook is notified with a
+// nil manifest (the caller never parsed one); implementations reload it
+// from the store.
 func (r *Registry) SetTag(name, tag string, d digest.Digest) error {
 	if !r.blobs.Has(d) {
 		return fmt.Errorf("registry: manifest blob %s not stored", d.Short())
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	rp, ok := r.repos[name]
 	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrRepoNotFound, name)
 	}
 	rp.tags[tag] = d
+	r.mu.Unlock()
+	r.notifyManifestTagged(name, tag, d, nil)
 	return nil
 }
 
@@ -183,6 +195,7 @@ func (r *Registry) Stats() Stats {
 		AuthDenied:     r.authDenied.Load(),
 		BlobPushes:     r.blobPushes.Load(),
 		ManifestPushes: r.manifestPushes.Load(),
+		TagDeletes:     r.tagDeletes.Load(),
 	}
 }
 
@@ -246,6 +259,10 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	case "tags":
 		r.serveTags(w, name, rp)
 	case "manifests":
+		if req.Method == http.MethodDelete {
+			r.serveManifestDelete(w, name, rp, ref)
+			return
+		}
 		r.serveManifest(w, req, rp, ref)
 	case "blobs":
 		r.serveBlob(w, req, ref)
@@ -334,6 +351,46 @@ func (r *Registry) serveManifest(w http.ResponseWriter, req *http.Request, rp *r
 	}
 	r.manifestGets.Add(1)
 	io.Copy(w, rc)
+}
+
+// serveManifestDelete implements DELETE /v2/<name>/manifests/<ref>. A
+// digest ref untags every tag pointing at that manifest; a tag ref untags
+// just that tag. Blobs are not removed — GC reclaims unreachable content
+// separately, and the analytics service keeps walked layers cached so a
+// delete/re-push cycle needs no re-walk. Responds 202 Accepted, like real
+// registries.
+func (r *Registry) serveManifestDelete(w http.ResponseWriter, name string, rp *repo, ref string) {
+	type untagged struct {
+		tag string
+		d   digest.Digest
+	}
+	var removals []untagged
+	r.mu.Lock()
+	if d, err := digest.Parse(ref); err == nil {
+		for t, td := range rp.tags {
+			if td == d {
+				removals = append(removals, untagged{t, td})
+				delete(rp.tags, t)
+			}
+		}
+	} else if d, ok := rp.tags[ref]; ok {
+		removals = append(removals, untagged{ref, d})
+		delete(rp.tags, ref)
+	}
+	r.mu.Unlock()
+	if len(removals) == 0 {
+		WriteError(w, http.StatusNotFound, "MANIFEST_UNKNOWN", "manifest or tag unknown")
+		return
+	}
+	// Deterministic hook order regardless of tag-map iteration.
+	sort.Slice(removals, func(i, j int) bool { return removals[i].tag < removals[j].tag })
+	r.tagDeletes.Add(int64(len(removals)))
+	if hook := r.ingestHook(); hook != nil {
+		for _, rm := range removals {
+			hook.TagDeleted(name, rm.tag, rm.d)
+		}
+	}
+	w.WriteHeader(http.StatusAccepted)
 }
 
 func (r *Registry) serveBlob(w http.ResponseWriter, req *http.Request, ref string) {

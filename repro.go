@@ -3,7 +3,7 @@
 // a statistically calibrated synthetic Docker Hub, regenerating every table
 // and figure of the paper's evaluation.
 //
-// The facade offers two run modes:
+// The facade offers three run modes:
 //
 //   - Model mode analyzes the synthetic Hub's metadata directly and scales
 //     to millions of file instances; it is the statistical reproduction
@@ -12,6 +12,11 @@
 //     in-process Docker Registry v2 server, then crawls the Hub search
 //     API, downloads every latest-tag image over HTTP, and analyzes the
 //     actual bytes — the methodology reproduction (§III).
+//   - Live mode runs the study as a resident service: images are pushed
+//     over HTTP into a registry whose write path feeds an always-on
+//     incremental analytics index, and the figures render from the live
+//     index — bit-identical to a batch pass over the same bytes, even
+//     through delete/re-push churn.
 //
 // Quick start:
 //
@@ -81,6 +86,19 @@ type Options struct {
 	// bit-identical to a plain-backend wire run; the backend's storage
 	// accounting lands in Result.DedupStats.
 	DedupStorage bool
+	// Live runs the study as a resident service instead of a batch
+	// pipeline: the registry serves with the always-on analytics hook on
+	// its write path, every image is pushed over HTTP (layer bytes are
+	// analyzed in flight by the ingest tee), and the figures render from
+	// the incrementally maintained live index — no batch analysis pass.
+	// The live service lands in Result.Analytics, its ingest counters in
+	// Result.IngestStats. Mutually exclusive with Wire and the wire-only
+	// options.
+	Live bool
+	// LiveChurn, with Live, deletes and re-pushes this fraction of the
+	// tagged population before reporting, exercising the live index's
+	// exact rollup path. Figures are identical to a churn-free run.
+	LiveChurn float64
 }
 
 // Result re-exports the study outcome.
@@ -104,8 +122,22 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 	if opts.Scale <= 0 {
 		return nil, errors.New("repro: Options.Scale must be positive")
 	}
+	if opts.Live {
+		if opts.Wire {
+			return nil, errors.New("repro: Options.Live and Options.Wire are mutually exclusive")
+		}
+		if opts.Fused || opts.MirrorCacheBytes > 0 || opts.ClusterNodes > 0 || opts.DedupStorage {
+			return nil, errors.New("repro: Options.Live does not combine with wire-pipeline options (Fused, Mirror*, Cluster*, DedupStorage)")
+		}
+	}
+	if opts.LiveChurn != 0 && !opts.Live {
+		return nil, errors.New("repro: Options.LiveChurn requires Options.Live")
+	}
+	if opts.LiveChurn < 0 || opts.LiveChurn > 1 {
+		return nil, errors.New("repro: Options.LiveChurn must be in [0, 1]")
+	}
 	var spec synth.Spec
-	if opts.Wire {
+	if opts.Wire || opts.Live {
 		spec = synth.MaterializeSpec(opts.Scale)
 	} else {
 		spec = synth.DefaultSpec(opts.Scale)
@@ -123,6 +155,10 @@ func RunContext(ctx context.Context, opts Options) (*Result, error) {
 		ClusterNodes:     opts.ClusterNodes,
 		ClusterReplicas:  opts.ClusterReplicas,
 		DedupStorage:     opts.DedupStorage,
+		LiveChurn:        opts.LiveChurn,
+	}
+	if opts.Live {
+		return study.RunLiveContext(ctx)
 	}
 	if opts.Wire {
 		return study.RunWireContext(ctx)

@@ -124,3 +124,40 @@ func TestRunSeedOverride(t *testing.T) {
 		t.Fatal("same seed produced different datasets")
 	}
 }
+
+func TestRunLiveSmall(t *testing.T) {
+	res, err := repro.Run(repro.Options{Scale: 0.0001, Live: true, LiveChurn: 0.25, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analytics == nil || res.IngestStats == nil || res.Registry == nil {
+		t.Fatal("live run missing analytics results")
+	}
+	if res.IngestStats.BlobsWalked == 0 || res.IngestStats.TagDeletes == 0 {
+		t.Fatalf("live run ingest counters: %+v", res.IngestStats)
+	}
+	if len(res.Figures) == 0 {
+		t.Fatal("live run rendered no figures")
+	}
+	if res.Crawl != nil || res.Download != nil {
+		t.Fatal("live run has wire-pipeline results")
+	}
+}
+
+func TestRunLiveOptionValidation(t *testing.T) {
+	bad := []repro.Options{
+		{Scale: 0.0001, Live: true, Wire: true},
+		{Scale: 0.0001, Live: true, Fused: true},
+		{Scale: 0.0001, Live: true, ClusterNodes: 2},
+		{Scale: 0.0001, Live: true, DedupStorage: true},
+		{Scale: 0.0001, Live: true, MirrorCacheBytes: 1 << 20},
+		{Scale: 0.0001, LiveChurn: 0.5},
+		{Scale: 0.0001, Live: true, LiveChurn: 1.5},
+		{Scale: 0.0001, Live: true, LiveChurn: -0.1},
+	}
+	for i, opts := range bad {
+		if _, err := repro.Run(opts); err == nil {
+			t.Errorf("options %d (%+v) accepted", i, opts)
+		}
+	}
+}
