@@ -39,15 +39,11 @@ type analyticsPushRun struct {
 // analyticsQueryStats is the query-side view measured while the live
 // push phase was in flight.
 type analyticsQueryStats struct {
-	Queries   int `json:"queries"`
-	Failed    int `json:"failed"`
-	LatencyMS struct {
-		P50 float64 `json:"p50"`
-		P90 float64 `json:"p90"`
-		P99 float64 `json:"p99"`
-		Max float64 `json:"max"`
-	} `json:"latency_ms"`
-	FinalEpoch uint64 `json:"final_epoch"`
+	Queries int `json:"queries"`
+	Failed  int `json:"failed"`
+	// LatencyMS is the shared bench summary shape (internal/stats).
+	LatencyMS  stats.LatencySummary `json:"latency_ms"`
+	FinalEpoch uint64               `json:"final_epoch"`
 }
 
 // analyticsReport is the BENCH_analytics.json document.
@@ -220,7 +216,7 @@ func runAnalyticsSweep(scale float64, workers, queryWorkers int, seed int64, jso
 		stop := make(chan struct{})
 		var qwg sync.WaitGroup
 		var qmu sync.Mutex
-		qlat := &stats.CDF{}
+		qlat := &stats.Hist{}
 		qfailed := 0
 		if mode == "live" {
 			paths := []string{"/analytics/summary", "/analytics/dedup"}
@@ -248,7 +244,7 @@ func runAnalyticsSweep(scale float64, workers, queryWorkers int, seed int64, jso
 						if err != nil {
 							qfailed++
 						} else {
-							qlat.Add(time.Since(began).Seconds() * 1000)
+							qlat.Record(time.Since(began))
 						}
 						qmu.Unlock()
 					}
@@ -284,14 +280,9 @@ func runAnalyticsSweep(scale float64, workers, queryWorkers int, seed int64, jso
 			report.FormatBytes(run.BytesPerS), run.VsPlain)
 
 		if mode == "live" {
-			out.Query.Queries = qlat.N()
+			out.Query.Queries = int(qlat.N())
 			out.Query.Failed = qfailed
-			if qlat.N() > 0 {
-				out.Query.LatencyMS.P50 = qlat.Median()
-				out.Query.LatencyMS.P90 = qlat.P(90)
-				out.Query.LatencyMS.P99 = qlat.P(99)
-				out.Query.LatencyMS.Max = qlat.Max()
-			}
+			out.Query.LatencyMS = qlat.Summary()
 			out.Query.FinalEpoch = live.Epoch()
 			out.Ingest = live.Stats()
 			fmt.Printf("  queries under push load: %d ok, %d failed", out.Query.Queries, out.Query.Failed)

@@ -95,9 +95,15 @@ func main() {
 	analyticsSweep := flag.Bool("analytics", false, "run the self-served live-analytics cost sweep (hooked vs plain push, queries under load) instead of hitting -registry")
 	analyticsScale := flag.Float64("analytics-scale", 0.0003, "dataset scale for the -analytics sweep")
 	queryWorkers := flag.Int("query-workers", 4, "concurrent /analytics query clients during the -analytics live push phase")
-	jsonPath := flag.String("json", "", "write -cluster/-dedup/-analytics sweep results to this file as JSON")
+	openloop := flag.Bool("openloop", false, "drive an open-loop trafficsim scenario (coordinated-omission-safe latency) instead of hitting -registry; writes the BENCH_traffic.json shape via -json")
+	simScenario := flag.String("sim-scenario", "pull-storm", "trafficsim scenario for -openloop (pull-storm, mixed, flash-crowd, slow-clients, hierarchy)")
+	jsonPath := flag.String("json", "", "write -cluster/-dedup/-analytics/-openloop results to this file as JSON")
 	flag.Parse()
 
+	if *openloop {
+		runOpenLoopSim(*simScenario, *scale, *seed, *pulls, *rate, *jsonPath)
+		return
+	}
 	if *clusterList != "" {
 		runClusterSweep(*clusterList, *scale, *replicas, *nodeBW, *pulls, *workers, *seed, *jsonPath)
 		return
@@ -168,26 +174,35 @@ func main() {
 		r.lat.N(), r.wall.Round(time.Millisecond),
 		float64(r.lat.N())/r.wall.Seconds(),
 		report.FormatBytes(float64(r.bytes)/r.wall.Seconds()), r.failed)
-	if r.lat.N() > 0 {
-		fmt.Printf("latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
-			r.lat.Median(), r.lat.P(90), r.lat.P(99), r.lat.Max())
+	if s := r.lat.Summary(); s.Count > 0 {
+		fmt.Printf("service ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			s.P50, s.P90, s.P99, s.Max)
+		fmt.Println(closedLoopNote)
 	}
 	reportMirror(*mirrorURL, before)
 }
 
 // replayResult is one closed-loop replay's outcome.
 type replayResult struct {
-	lat    *stats.CDF
+	lat    *stats.Hist
 	bytes  int64
 	failed int
 	wall   time.Duration
 }
 
+// closedLoopNote is printed with every closed-loop latency report:
+// worker-pool replay measures per-request service time only. A lagging
+// worker issues its next request late, so the queueing that lateness
+// would have caused real clients is silently dropped from the
+// distribution (coordinated omission). The open-loop modes (-rate,
+// -openloop) measure from each request's scheduled arrival instead.
+const closedLoopNote = "note: closed-loop latency is service time only (coordinated omission); use -rate or -openloop for arrival-scheduled latency"
+
 // replay runs the trace closed-loop with the given worker fan-out.
 func replay(client *registry.Client, names []string, trace []int, workers int) replayResult {
 	var (
 		mu  sync.Mutex
-		res = replayResult{lat: &stats.CDF{}}
+		res = replayResult{lat: &stats.Hist{}}
 	)
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -203,7 +218,7 @@ func replay(client *registry.Client, names []string, trace []int, workers int) r
 				if err != nil {
 					res.failed++
 				} else {
-					res.lat.Add(elapsed.Seconds() * 1000)
+					res.lat.Record(elapsed)
 					res.bytes += n
 				}
 				mu.Unlock()
@@ -231,12 +246,9 @@ type clusterRun struct {
 	BytesPerS float64 `json:"bytes_per_s"`
 	HitRatio  float64 `json:"router_hit_ratio"`
 	Speedup   float64 `json:"speedup"`
-	LatencyMS struct {
-		P50 float64 `json:"p50"`
-		P90 float64 `json:"p90"`
-		P99 float64 `json:"p99"`
-		Max float64 `json:"max"`
-	} `json:"latency_ms"`
+	// LatencyMS is the shared bench summary shape (internal/stats); here
+	// it holds closed-loop service time.
+	LatencyMS stats.LatencySummary `json:"latency_ms"`
 }
 
 // clusterReport is the BENCH_cluster.json document.
@@ -324,18 +336,13 @@ func runClusterSweep(nodesList string, scale float64, replicas int, nodeBW int64
 		run := clusterRun{
 			Nodes:     n,
 			Replicas:  c.Replicas(),
-			Pulls:     r.lat.N(),
+			Pulls:     int(r.lat.N()),
 			Failed:    r.failed,
 			WallS:     r.wall.Seconds(),
 			PullsPerS: float64(r.lat.N()) / r.wall.Seconds(),
 			BytesPerS: float64(r.bytes) / r.wall.Seconds(),
 			HitRatio:  cs.HitRatio(),
-		}
-		if r.lat.N() > 0 {
-			run.LatencyMS.P50 = r.lat.Median()
-			run.LatencyMS.P90 = r.lat.P(90)
-			run.LatencyMS.P99 = r.lat.P(99)
-			run.LatencyMS.Max = r.lat.Max()
+			LatencyMS: r.lat.Summary(),
 		}
 		run.Speedup = 1
 		if len(out.Runs) > 0 {
@@ -374,11 +381,9 @@ type dedupRun struct {
 	// PullVsPlain is this backend's pull throughput relative to the plain
 	// store's (1.0 for the plain run itself).
 	PullVsPlain float64 `json:"pull_vs_plain"`
-	LatencyMS   struct {
-		P50 float64 `json:"p50"`
-		P90 float64 `json:"p90"`
-		P99 float64 `json:"p99"`
-	} `json:"latency_ms"`
+	// LatencyMS is the shared bench summary shape (internal/stats); here
+	// it holds closed-loop service time.
+	LatencyMS stats.LatencySummary `json:"latency_ms"`
 	// Storage accounting; for the plain backend PhysicalBytes is simply
 	// the stored wire bytes.
 	LogicalBytes  int64   `json:"logical_bytes"`
@@ -495,18 +500,14 @@ func runDedupSweep(scale float64, pulls, workers int, seed int64, jsonPath strin
 		run := dedupRun{
 			Backend:       be.name,
 			PushBytesPerS: float64(pushed) / pushWall.Seconds(),
-			Pulls:         r.lat.N(),
+			Pulls:         int(r.lat.N()),
 			Failed:        r.failed,
 			PullsPerS:     float64(r.lat.N()) / r.wall.Seconds(),
 			BytesPerS:     float64(r.bytes) / r.wall.Seconds(),
+			LatencyMS:     r.lat.Summary(),
 			LogicalBytes:  logical,
 			WireBytes:     pushed,
 			PhysicalBytes: be.store.TotalBytes(),
-		}
-		if r.lat.N() > 0 {
-			run.LatencyMS.P50 = r.lat.Median()
-			run.LatencyMS.P90 = r.lat.P(90)
-			run.LatencyMS.P99 = r.lat.P(99)
 		}
 		run.SavingsRatio = float64(logical) / float64(run.PhysicalBytes)
 		if be.dedup != nil {
@@ -594,52 +595,58 @@ func reportMirror(base string, before mirrorStats) {
 }
 
 // runOpenLoop replays a Poisson workload: each pull is dispatched at its
-// stamped arrival time in its own goroutine, so response time includes any
-// queueing the server builds up — the view a closed loop hides.
+// stamped arrival time in its own goroutine. Latency is measured from the
+// request's *scheduled* arrival, not from dispatch — when the generator
+// runs behind schedule, that lateness is queueing a real client would
+// have experienced and must be charged to the distribution (the
+// coordinated-omission correction). The dispatch-to-completion service
+// view is reported alongside for comparison.
 func runOpenLoop(client *registry.Client, names []string, weights []int64, n int, rate float64, seed int64) {
 	events, err := popularity.PoissonTrace(weights, n, rate, seed)
 	if err != nil {
 		fatal(err)
 	}
 	var (
-		mu        sync.Mutex
-		latencies = &stats.CDF{}
-		lateness  = &stats.CDF{}
-		bytes     int64
-		errs      int
-		wg        sync.WaitGroup
+		mu      sync.Mutex
+		latency = &stats.Hist{} // scheduled arrival → completion (CO-safe)
+		service = &stats.Hist{} // dispatch → completion
+		bytes   int64
+		errs    int
+		wg      sync.WaitGroup
 	)
 	start := time.Now()
 	for _, ev := range events {
-		if d := time.Until(start.Add(ev.At)); d > 0 {
+		scheduled := start.Add(ev.At)
+		if d := time.Until(scheduled); d > 0 {
 			time.Sleep(d)
 		}
 		wg.Add(1)
-		go func(repo string, due time.Duration) {
+		go func(repo string, scheduled time.Time) {
 			defer wg.Done()
 			began := time.Now()
 			nBytes, err := pullOnce(client, repo)
+			done := time.Now()
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				errs++
 				return
 			}
-			latencies.Add(time.Since(began).Seconds() * 1000)
-			lateness.Add((began.Sub(start) - due).Seconds() * 1000)
+			latency.Record(done.Sub(scheduled))
+			service.Record(done.Sub(began))
 			bytes += nBytes
-		}(names[ev.Repo], ev.At)
+		}(names[ev.Repo], scheduled)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	fmt.Printf("loadgen(open-loop %.0f/s): %d pulls in %s (%s/s), %d failed\n",
-		rate, latencies.N(), elapsed.Round(time.Millisecond),
+		rate, latency.N(), elapsed.Round(time.Millisecond),
 		report.FormatBytes(float64(bytes)/elapsed.Seconds()), errs)
-	if latencies.N() > 0 {
-		fmt.Printf("service ms:  p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
-			latencies.Median(), latencies.P(90), latencies.P(99), latencies.Max())
-		fmt.Printf("dispatch lateness ms: p50=%.2f p99=%.2f (how far behind schedule arrivals ran)\n",
-			lateness.Median(), lateness.P(99))
+	if lat, svc := latency.Summary(), service.Summary(); lat.Count > 0 {
+		fmt.Printf("latency ms (scheduled arrival → done, CO-safe): p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			lat.P50, lat.P90, lat.P99, lat.Max)
+		fmt.Printf("service ms (dispatch → done):                   p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			svc.P50, svc.P90, svc.P99, svc.Max)
 	}
 }
 

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/trafficsim"
+)
+
+// runOpenLoopSim is the bridge into the open-loop traffic simulator: one
+// self-provisioned trafficsim scenario driven at the given mean Poisson
+// rate, reported in the BENCH_traffic.json document shape. It exists so
+// loadgen users get the coordinated-omission-safe methodology without
+// switching tools; cmd/trafficsim is the full-featured front end
+// (arrival shapes, SLO search, closed-vs-open comparison).
+func runOpenLoopSim(scenario string, scale float64, seed int64, requests int, rate float64, jsonPath string) {
+	if rate <= 0 {
+		rate = 120
+	}
+	sc, err := trafficsim.NewScenario(scenario)
+	if err != nil {
+		fatal(err)
+	}
+	slo := trafficsim.SLO{Percentile: 99, Latency: 500 * time.Millisecond, MaxErrorRate: 0.01}
+	opt := trafficsim.Options{
+		Env:      trafficsim.Env{Scale: scale, Seed: seed, Requests: requests},
+		Arrivals: trafficsim.ArrivalSpec{Kind: "poisson", Rate: rate},
+		Timeout:  30 * time.Second,
+	}
+	res, err := trafficsim.Execute(context.Background(), sc, opt)
+	if err != nil {
+		fatal(err)
+	}
+	rep := trafficsim.NewRunReport(scenario, opt.Arrivals, res, &slo)
+	out := trafficsim.BenchReport{
+		Scale:    scale,
+		Seed:     seed,
+		Requests: requests,
+		SLO:      slo.String(),
+		Runs:     []trafficsim.RunReport{rep},
+	}
+
+	verdict := "PASS"
+	if !rep.SLO.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("loadgen(openloop %s @ %.0f/s): %d/%d ok (%d err, %d timeout) in %.1fs\n",
+		scenario, rate, rep.Completed, rep.Requests, rep.Errors, rep.Timeouts, rep.WallS)
+	fmt.Printf("latency ms (CO-safe): p50=%.2f p99=%.2f p99.9=%.2f max=%.2f | service p99=%.2f | slo %s %s\n",
+		rep.Latency.P50, rep.Latency.P99, rep.Latency.P999, rep.Latency.Max, rep.Service.P99, out.SLO, verdict)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}

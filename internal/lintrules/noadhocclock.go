@@ -19,6 +19,7 @@ var deterministicPkgs = []string{
 	"internal/synth",
 	"internal/cluster",
 	"internal/dedupstore",
+	"internal/trafficsim",
 }
 
 // adhocClockFuncs are the package time functions that read or wait on

@@ -1,0 +1,128 @@
+package trafficsim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestSlowClientDrainE2E is the end-to-end drain check: slow clients hold
+// throttled blob streams open against a 3-node cluster while one node
+// drains mid-run. The drain grace must let every in-flight stream finish
+// and the router's replica fall-through must absorb everything after —
+// zero failed requests — and the run must still produce a well-formed
+// SLO verdict. Run under -race via the Makefile race target.
+func TestSlowClientDrainE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: real servers and wall-clock pacing")
+	}
+	ctx := context.Background()
+	sc := &SlowClients{Nodes: 3, Replicas: 2, ReadBytesPerS: 256 << 10}
+	env := &Env{Scale: 0.003, Seed: 7, Requests: 120}
+
+	g := &serve.Group{}
+	defer func() {
+		sdctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := g.Shutdown(sdctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	opFor, err := sc.Setup(ctx, g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cluster == nil {
+		t.Fatal("SlowClients with Nodes=3 exposed no cluster")
+	}
+
+	arrivals, err := NewPoisson(80, rand.New(rand.NewSource(env.Seed+seedArrive)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain node 1 once load has built: streams opened before the drain
+	// are mid-trickle when it lands.
+	drained := make(chan error, 1)
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		drained <- sc.Cluster.DrainNode(ctx, 1)
+	}()
+
+	res, err := Run(ctx, Config{
+		Arrivals: arrivals,
+		Requests: env.Requests,
+		Op:       opFor,
+		Timeout:  20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("drain: %v", err)
+	}
+
+	if res.Errors != 0 || res.Timeouts != 0 {
+		t.Fatalf("drain mid-run failed requests: errors=%d timeouts=%d (of %d)", res.Errors, res.Timeouts, res.Dispatched)
+	}
+	if res.Completed != int64(env.Requests) {
+		t.Fatalf("completed %d of %d requests", res.Completed, env.Requests)
+	}
+	if res.Bytes == 0 {
+		t.Fatal("slow-client run moved no bytes")
+	}
+
+	slo := SLO{Percentile: 99, Latency: 15 * time.Second, MaxErrorRate: 0}
+	v := slo.Evaluate(res)
+	if !v.Pass {
+		t.Errorf("SLO %v failed: observed p99 %.1fms, error rate %.3f", slo, v.ObservedMS, v.ErrorRate)
+	}
+	if v.ObservedMS <= 0 || v.TargetMS != 15000 || v.Percentile != 99 {
+		t.Errorf("malformed verdict: %+v", v)
+	}
+	// The slow trickle dominates service time: p50 must exceed what an
+	// unthrottled pull of a few-KB image would take.
+	if p50 := res.Service.P(50); p50 < 5*time.Millisecond {
+		t.Errorf("service p50 %v — throttled streams should be slower; throttle inactive?", p50)
+	}
+}
+
+// TestScenarioSmoke provisions each non-cluster scenario once at tiny
+// scale and runs a short open-loop burst through Execute — the full
+// provision → run → drain cycle per scenario.
+func TestScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e: real servers")
+	}
+	scenarios := []Scenario{
+		&MixedPushPull{PushFraction: 0.3, LiveAnalytics: true},
+		&FlashCrowd{HerdFraction: 0.75},
+		&Hierarchy{Edges: 2},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Execute(context.Background(), sc, Options{
+				Env:      Env{Scale: 0.003, Seed: 11, Requests: 60},
+				Arrivals: ArrivalSpec{Kind: "poisson", Rate: 120},
+				Timeout:  20 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Errors != 0 || res.Timeouts != 0 {
+				t.Fatalf("%s: errors=%d timeouts=%d", sc.Name(), res.Errors, res.Timeouts)
+			}
+			if res.Completed != 60 {
+				t.Fatalf("%s: completed %d of 60", sc.Name(), res.Completed)
+			}
+			if res.Latency.N() == 0 || res.Bytes == 0 {
+				t.Fatalf("%s: empty result", sc.Name())
+			}
+		})
+	}
+}
